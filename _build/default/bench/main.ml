@@ -1,0 +1,454 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation from the framework's own outputs, then times the evaluation
+   hot paths with Bechamel (one Test.make per experiment).
+
+   Usage:
+     dune exec bench/main.exe                 # all artifacts + micro-benches
+     dune exec bench/main.exe table5          # one artifact
+     dune exec bench/main.exe validate        # simulator-vs-model check
+     dune exec bench/main.exe pareto          # design-space search ablation
+     dune exec bench/main.exe micro           # micro-benchmarks only *)
+
+open Bechamel
+open Toolkit
+open Storage_units
+open Storage_model
+open Storage_presets
+
+(* --- artifact regeneration --- *)
+
+let artifacts : (string * (unit -> string)) list =
+  [
+    ("table2", Paper_tables.table2);
+    ("table3", Paper_tables.table3);
+    ("table4", Paper_tables.table4);
+    ("figure1", Paper_tables.figure1);
+    ("figure2", Paper_tables.figure2);
+    ("table5", Paper_tables.table5);
+    ("table6", Paper_tables.table6);
+    ("figure3", Paper_tables.figure3);
+    ("figure4", Paper_tables.figure4);
+    ("figure5", Paper_tables.figure5);
+    ("table7", Paper_tables.table7);
+  ]
+
+let print_artifact name =
+  match List.assoc_opt name artifacts with
+  | Some render ->
+    print_endline (render ());
+    print_newline ()
+  | None -> Printf.eprintf "unknown artifact %s\n" name
+
+(* --- simulator-vs-model validation --- *)
+
+let validate () =
+  print_endline "Simulator-vs-model validation (baseline, 14 failure phases):";
+  let config = { Storage_sim.Sim.warmup = Duration.weeks 12.; log = false; outage = None; record_events = false } in
+  let ok = ref true in
+  List.iter
+    (fun scenario ->
+      let model = Evaluate.run Baseline.design scenario in
+      let worst =
+        match model.Evaluate.data_loss.Data_loss.loss with
+        | Data_loss.Updates d -> Duration.to_seconds d
+        | Data_loss.Entire_object -> infinity
+      in
+      let offsets =
+        List.init 14 (fun i -> Duration.hours (float_of_int i *. 12.))
+      in
+      let runs =
+        Storage_sim.Sim.sweep_failure_phase ~config Baseline.design scenario
+          ~offsets
+      in
+      let max_dl =
+        List.fold_left
+          (fun acc (m : Storage_sim.Sim.measured) ->
+            match m.Storage_sim.Sim.data_loss with
+            | Data_loss.Updates d -> Float.max acc (Duration.to_seconds d)
+            | Data_loss.Entire_object -> acc)
+          0. runs
+      in
+      let pass = max_dl <= worst +. 1. in
+      if not pass then ok := false;
+      Printf.printf "  %-18s max sim DL %8.1f hr <= model %8.1f hr  %s\n"
+        (Fmt.str "%a" Storage_device.Location.pp_scope
+           scenario.Scenario.scope)
+        (max_dl /. 3600.) (worst /. 3600.)
+        (if pass then "ok" else "VIOLATION"))
+    Baseline.scenarios;
+  print_endline (if !ok then "validation passed" else "validation FAILED");
+  if not !ok then exit 1
+
+(* --- design-space search ablation --- *)
+
+let pareto () =
+  let kit =
+    {
+      Storage_optimize.Candidate.workload = Cello.workload;
+      business = Baseline.business;
+      primary = Baseline.disk_array;
+      tape_library = Baseline.tape_library;
+      vault = Baseline.vault;
+      remote_array = Baseline.remote_array;
+      san = Baseline.san;
+      shipment = Baseline.air_shipment;
+      wan = (fun links -> Baseline.oc3 ~links);
+    }
+  in
+  let candidates =
+    Storage_optimize.Candidate.enumerate kit
+      Storage_optimize.Candidate.default_space
+  in
+  let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
+  let result = Storage_optimize.Search.run candidates scenarios in
+  Fmt.pr "%a@." Storage_optimize.Search.pp result
+
+(* --- ablations: the design choices DESIGN.md calls out --- *)
+
+(* 1. The devBW erratum: the paper prints max(enclBW, slots*slotBW); its
+   case study requires min. Show what each formula predicts. *)
+let ablate_devbw () =
+  print_endline "Ablation 1: devBW = min vs max of enclosure/slot bandwidth";
+  let report device used_mib =
+    let open Storage_device in
+    let slots =
+      float_of_int device.Device.max_bandwidth_slots
+      *. Rate.to_mib_per_sec device.Device.slot_bandwidth
+    in
+    let encl = Rate.to_mib_per_sec device.Device.enclosure_bandwidth in
+    Printf.printf
+      "  %-13s demand %6.1f MiB/s  min-rule %6.1f MiB/s -> %5.2f%%   \
+       max-rule %6.1f MiB/s -> %5.2f%%\n"
+      device.Device.name used_mib (Float.min encl slots)
+      (100. *. used_mib /. Float.min encl slots)
+      (Float.max encl slots)
+      (100. *. used_mib /. Float.max encl slots)
+  in
+  let u = Utilization.compute Baseline.design in
+  List.iter
+    (fun (d : Utilization.device_report) ->
+      let open Storage_device in
+      if not (Device.is_capacity_only d.Utilization.device) then
+        report d.Utilization.device
+          (Rate.to_mib_per_sec d.Utilization.total.Device.bandwidth_used))
+    u.Utilization.devices;
+  print_endline
+    "  (Table 5 prints 2.4% and 3.4%: only the min rule reproduces them.)\n"
+
+(* 2. Recovery semantics: provisioning overlapped with the transfer (the
+   reading Table 7 requires) vs strictly serialized (what the simulator
+   executes). *)
+let ablate_recovery_semantics () =
+  print_endline
+    "Ablation 2: recovery-time semantics (parallel vs strict provisioning)";
+  let strict_total (t : Recovery_time.timeline) =
+    List.fold_left
+      (fun rt (h : Recovery_time.hop) ->
+        let arrival = Duration.add rt h.Recovery_time.transit in
+        Duration.sum
+          [
+            Duration.max arrival h.Recovery_time.par_fix;
+            h.Recovery_time.ser_fix;
+            h.Recovery_time.transfer;
+          ])
+      Duration.zero t.Recovery_time.hops
+  in
+  List.iter
+    (fun (name, design, scenario) ->
+      let r = Evaluate.run design scenario in
+      match r.Evaluate.recovery with
+      | Some t ->
+        Printf.printf "  %-28s parallel %7.2f hr   strict %7.2f hr\n" name
+          (Duration.to_hours t.Recovery_time.total)
+          (Duration.to_hours (strict_total t))
+      | None -> ())
+    [
+      ("baseline, array", Baseline.design, Baseline.scenario_array);
+      ("baseline, site", Baseline.design, Baseline.scenario_site);
+      ("asyncB x1, site", Whatif.async_mirror ~links:1, Baseline.scenario_site);
+      ("asyncB x10, site", Whatif.async_mirror ~links:10, Baseline.scenario_site);
+    ];
+  print_endline
+    "  (Table 7's 21.7 hr single-link site cell matches the parallel form;\n\
+    \   the simulator executes the strict form.)\n"
+
+(* 3. Vault accumulation window sweep (generalizes the weekly-vault
+   what-if). *)
+let vault_design acc_weeks =
+  let open Storage_protection in
+  let open Storage_hierarchy in
+  let vault_schedule =
+    Schedule.simple
+      ~acc:(Duration.weeks acc_weeks)
+      ~prop:(Duration.hours 24.) ~hold:(Duration.hours 12.)
+      ~retention_count:(max 1 (int_of_float (ceil (156. /. acc_weeks))))
+      ()
+  in
+  let hierarchy =
+    Hierarchy.make_exn
+      [
+        {
+          Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+          device = Baseline.disk_array;
+          link = None;
+        };
+        {
+          technique = Technique.Split_mirror Baseline.split_mirror_schedule;
+          device = Baseline.disk_array;
+          link = None;
+        };
+        {
+          technique = Technique.Backup Baseline.backup_schedule;
+          device = Baseline.tape_library;
+          link = Some Baseline.san;
+        };
+        {
+          technique = Technique.Vaulting vault_schedule;
+          device = Baseline.vault;
+          link = Some Baseline.air_shipment;
+        };
+      ]
+  in
+  Design.make
+    ~name:(Printf.sprintf "vault/%.0fwk" acc_weeks)
+    ~workload:Cello.workload ~hierarchy ~business:Baseline.business ()
+
+let ablate_vault_window () =
+  print_endline
+    "Ablation 3: vault accumulation window vs site-disaster loss and cost";
+  Storage_optimize.Sensitivity.sweep vault_design ~values:[ 1.; 2.; 4.; 8. ]
+    Baseline.scenario_site
+  |> List.iter (fun p ->
+         Fmt.pr "  %a@." Storage_optimize.Sensitivity.pp_point p);
+  print_newline ()
+
+(* 4. Mirror link-count sweep: where does adding links stop paying? *)
+let ablate_links () =
+  print_endline "Ablation 4: OC-3 link count vs recovery time and total cost";
+  List.iter
+    (fun links ->
+      let d = Whatif.async_mirror ~links in
+      let array = Evaluate.run d Baseline.scenario_array in
+      let site = Evaluate.run d Baseline.scenario_site in
+      Printf.printf
+        "  %2d links: array RT %6.2f hr, site RT %6.2f hr, outlays %s, worst \
+         total %s\n"
+        links
+        (Duration.to_hours array.Evaluate.recovery_time)
+        (Duration.to_hours site.Evaluate.recovery_time)
+        (Money.to_string array.Evaluate.outlays.Cost.total)
+        (Money.to_string
+           (Money.max array.Evaluate.total_cost site.Evaluate.total_cost)))
+    [ 1; 2; 3; 4; 6; 8; 10 ];
+  print_newline ()
+
+(* 5. RAID organization of the primary array. *)
+let ablate_raid () =
+  print_endline "Ablation 5: primary-array RAID organization";
+  let open Storage_protection in
+  let open Storage_hierarchy in
+  List.iter
+    (fun raid ->
+      let hierarchy =
+        Hierarchy.make_exn
+          [
+            {
+              Hierarchy.technique = Technique.Primary_copy { raid };
+              device = Baseline.disk_array;
+              link = None;
+            };
+            {
+              technique = Technique.Split_mirror Baseline.split_mirror_schedule;
+              device = Baseline.disk_array;
+              link = None;
+            };
+            {
+              technique = Technique.Backup Baseline.backup_schedule;
+              device = Baseline.tape_library;
+              link = Some Baseline.san;
+            };
+          ]
+      in
+      let d =
+        Design.make
+          ~name:(Raid.to_string raid)
+          ~workload:Cello.workload ~hierarchy ~business:Baseline.business ()
+      in
+      let u = Utilization.compute d in
+      let o = Cost.outlays d in
+      Printf.printf
+        "  %-10s array capacity %5.1f%%  outlays %s  disk-failure tolerant: %b\n"
+        (Raid.to_string raid)
+        (100. *. u.Utilization.system_capacity_fraction)
+        (Money.to_string o.Cost.total)
+        (Raid.tolerates_disk_failure raid))
+    [ Raid.Raid0; Raid.Raid1; Raid.Raid5 { stripe_width = 6 }; Raid.Raid10 ];
+  print_newline ()
+
+(* 6. Workload growth: when does the baseline hardware stop fitting? *)
+let ablate_growth () =
+  print_endline "Ablation 6: workload growth vs baseline hardware";
+  List.iter
+    (fun factor ->
+      let workload = Storage_workload.Workload.grow Cello.workload ~factor in
+      let d =
+        Design.make
+          ~name:(Printf.sprintf "cello x%.2f" factor)
+          ~workload ~hierarchy:Baseline.design.Design.hierarchy
+          ~business:Baseline.business ()
+      in
+      let u = Utilization.compute d in
+      Printf.printf "  x%.2f: array cap %5.1f%%, tape cap %5.1f%%  %s\n" factor
+        (100.
+        *. (List.hd u.Utilization.devices).Utilization.total
+             .Storage_device.Device.capacity_fraction)
+        (100.
+        *. (List.nth u.Utilization.devices 1).Utilization.total
+             .Storage_device.Device.capacity_fraction)
+        (match Design.validate d with
+        | Ok () -> "fits"
+        | Error (e :: _) -> "OVERCOMMITTED: " ^ e
+        | Error [] -> "fits"))
+    [ 0.5; 1.0; 1.1; 1.15; 1.25; 1.5; 2.0 ];
+  print_newline ()
+
+(* 7. Tail risk: expectation vs Monte-Carlo distribution. *)
+let ablate_tail_risk () =
+  print_endline
+    "Ablation 7: expected vs sampled 10-year cost (tail risk per design)";
+  let weighted =
+    [
+      { Risk.scenario = Baseline.scenario_object; frequency_per_year = 12. };
+      { Risk.scenario = Baseline.scenario_array; frequency_per_year = 0.2 };
+      { Risk.scenario = Baseline.scenario_site; frequency_per_year = 0.01 };
+    ]
+  in
+  List.iter
+    (fun (name, d) ->
+      let expectation = Risk.assess d weighted in
+      let dist =
+        Risk.monte_carlo ~samples:4000 d weighted ~horizon_years:10.
+      in
+      Printf.printf "  %-32s E %-9s mc-mean %-9s p95 %-9s p99 %s\n" name
+        (Money.to_string
+           (Money.scale 10. expectation.Risk.expected_annual_cost))
+        (Money.to_string dist.Risk.mean)
+        (Money.to_string dist.Risk.p95)
+        (Money.to_string dist.Risk.p99))
+    [
+      ("baseline", Baseline.design);
+      ("weekly vault, daily F, snapshot", Whatif.weekly_vault_daily_full_snapshot);
+      ("asyncB mirror, 2 links", Whatif.async_mirror ~links:2);
+    ];
+  print_newline ()
+
+let ablate () =
+  ablate_devbw ();
+  ablate_recovery_semantics ();
+  ablate_vault_window ();
+  ablate_links ();
+  ablate_raid ();
+  ablate_growth ();
+  ablate_tail_risk ()
+
+(* --- micro-benchmarks --- *)
+
+let small_trace =
+  lazy
+    (Storage_workload.Trace.generate ~seed:11L
+       {
+         Cello.trace_profile with
+         Storage_workload.Trace.block_count = 4096;
+         mean_update_rate = Rate.mib_per_sec 2.;
+       }
+       (Duration.hours 6.))
+
+let micro_tests =
+  [
+    Test.make ~name:"table2: trace characterization (6h trace)"
+      (Staged.stage (fun () ->
+           let trace = Lazy.force small_trace in
+           Storage_workload.Trace_stats.batch_curve trace
+             ~windows:[ Duration.minutes 1.; Duration.hours 1. ]));
+    Test.make ~name:"table5: utilization (baseline)"
+      (Staged.stage (fun () -> Utilization.compute Baseline.design));
+    Test.make ~name:"table6: evaluate 3 scenarios (baseline)"
+      (Staged.stage (fun () ->
+           Evaluate.run_all Baseline.design Baseline.scenarios));
+    Test.make ~name:"table7: evaluate 7 designs x 2 scenarios"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (_, d) ->
+               ignore
+                 (Evaluate.run_all d
+                    [ Baseline.scenario_array; Baseline.scenario_site ]))
+             Whatif.all));
+    Test.make ~name:"figure3: RP ranges (baseline)"
+      (Staged.stage (fun () ->
+           let h = Baseline.design.Design.hierarchy in
+           List.init
+             (Storage_hierarchy.Hierarchy.length h)
+             (Storage_hierarchy.Hierarchy.guaranteed_range h)));
+    Test.make ~name:"figure4: recovery timeline (site)"
+      (Staged.stage (fun () ->
+           Recovery_time.compute Baseline.design Baseline.scenario_site
+             ~source_level:3));
+    Test.make ~name:"figure5: cost outlays (baseline)"
+      (Staged.stage (fun () -> Cost.outlays Baseline.design));
+    Test.make ~name:"sim: 4-week warmup + array failure"
+      (Staged.stage (fun () ->
+           Storage_sim.Sim.run
+             ~config:{ Storage_sim.Sim.warmup = Duration.weeks 4.; log = false; outage = None; record_events = false }
+             Baseline.design Baseline.scenario_array));
+  ]
+
+let run_micro () =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock):";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let test = Test.make_grouped ~name:"experiments" ~fmt:"%s %s" micro_tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+      in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  List.iter
+    (fun (name, ns, r2) ->
+      let human =
+        if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-50s %s/run  (r² %.3f)\n" name human r2)
+    rows
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+    List.iter (fun (name, _) -> print_artifact name) artifacts;
+    validate ();
+    print_newline ();
+    ablate ();
+    run_micro ()
+  | _ :: [ "micro" ] -> run_micro ()
+  | _ :: [ "validate" ] -> validate ()
+  | _ :: [ "pareto" ] -> pareto ()
+  | _ :: [ "ablate" ] -> ablate ()
+  | _ :: names -> List.iter print_artifact names

@@ -1,0 +1,731 @@
+(* ssdep: storage system dependability evaluator.
+
+   Command-line front end for the DSN 2004 "Framework for Evaluating
+   Storage System Dependability" reproduction: evaluate designs under
+   failure scenarios, reproduce the paper's tables, run the discrete-event
+   simulator, and search the design space. *)
+
+open Cmdliner
+open Storage_units
+open Storage_device
+open Storage_model
+open Storage_presets
+
+let designs = Whatif.all
+
+let design_names = List.map fst designs
+
+let find_design name =
+  match List.assoc_opt name designs with
+  | Some d -> Ok d
+  | None ->
+    Error
+      (Printf.sprintf "unknown design %S; available: %s" name
+         (String.concat ", " design_names))
+
+let scenario_of_scope ~target_age scope_name =
+  let target_age = Duration.hours target_age in
+  match scope_name with
+  | "object" ->
+    let age =
+      if Duration.is_zero target_age then Duration.hours 24. else target_age
+    in
+    Ok
+      (Scenario.make ~scope:Location.Data_object ~target_age:age
+         ~object_size:(Size.mib 1.) ())
+  | "array" ->
+    Ok (Scenario.make ~scope:(Location.Device "disk-array") ~target_age ())
+  | "site" -> Ok (Scenario.make ~scope:(Location.Site "primary") ~target_age ())
+  | other ->
+    Error (Printf.sprintf "unknown scope %S (object|array|site)" other)
+
+(* --- common options --- *)
+
+let design_arg =
+  let doc =
+    Printf.sprintf "Design to evaluate. One of: %s."
+      (String.concat ", " (List.map (Printf.sprintf "$(b,%s)") design_names))
+  in
+  Arg.(value & opt string "baseline" & info [ "d"; "design" ] ~docv:"NAME" ~doc)
+
+let scope_arg =
+  let doc = "Failure scope: $(b,object), $(b,array) or $(b,site)." in
+  Arg.(value & opt string "array" & info [ "s"; "scope" ] ~docv:"SCOPE" ~doc)
+
+let target_age_arg =
+  let doc =
+    "Recovery target age in hours before the failure (0 = just before; \
+     object scope defaults to 24)."
+  in
+  Arg.(value & opt float 0. & info [ "target-age" ] ~docv:"HOURS" ~doc)
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let only =
+    let doc =
+      "Print a single artifact: table2..table7 or figure2..figure5."
+    in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
+  in
+  let run only =
+    match only with
+    | None ->
+      Paper_tables.print_all ();
+      Ok ()
+    | Some name -> (
+      let render =
+        match name with
+        | "table2" -> Some Paper_tables.table2
+        | "table3" -> Some Paper_tables.table3
+        | "table4" -> Some Paper_tables.table4
+        | "figure1" -> Some Paper_tables.figure1
+        | "figure2" -> Some Paper_tables.figure2
+        | "table5" -> Some Paper_tables.table5
+        | "table6" -> Some Paper_tables.table6
+        | "table7" -> Some Paper_tables.table7
+        | "figure3" -> Some Paper_tables.figure3
+        | "figure4" -> Some Paper_tables.figure4
+        | "figure5" -> Some Paper_tables.figure5
+        | _ -> None
+      in
+      match render with
+      | Some f ->
+        print_endline (f ());
+        Ok ()
+      | None -> Error (Printf.sprintf "unknown artifact %S" name))
+  in
+  let term = Term.(const run $ only) in
+  let info =
+    Cmd.info "tables" ~doc:"Reproduce the paper's tables and figures."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- evaluate --- *)
+
+let file_arg =
+  let doc =
+    "Load the design (and its [scenario] sections) from a design-language \
+     file instead of a preset; see examples/designs/."
+  in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of the textual report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let evaluate_cmd =
+  let print_reports json named =
+    if json then
+      print_endline
+        (Storage_report.Json.to_string_pretty (Json_output.reports named))
+    else
+      List.iter
+        (fun (name, r) ->
+          Fmt.pr "--- scenario %s ---@.%a@.@." name Evaluate.pp r)
+        named
+  in
+  let run design file scope target_age json =
+    match file with
+    | Some path -> (
+      match Storage_spec.Spec.design_of_file path with
+      | Error e -> Error e
+      | Ok d -> (
+        match Storage_spec.Spec.scenarios_of_file path with
+        | Error e -> Error e
+        | Ok [] -> (
+          match scenario_of_scope ~target_age scope with
+          | Error e ->
+            Error
+              (e ^ " (the file defines no [scenario] sections to use instead)")
+          | Ok scenario ->
+            print_reports json [ (scope, Evaluate.run d scenario) ];
+            Ok ())
+        | Ok scenarios ->
+          print_reports json
+            (List.map
+               (fun (name, scenario) -> (name, Evaluate.run d scenario))
+               scenarios);
+          Ok ()))
+    | None -> (
+      match find_design design with
+      | Error e -> Error e
+      | Ok d -> (
+        match scenario_of_scope ~target_age scope with
+        | Error e -> Error e
+        | Ok scenario ->
+          let report = Evaluate.run d scenario in
+          if json then
+            print_endline
+              (Storage_report.Json.to_string_pretty
+                 (Json_output.report report))
+          else Fmt.pr "%a@." Evaluate.pp report;
+          Ok ()))
+  in
+  let term =
+    Term.(
+      const run $ design_arg $ file_arg $ scope_arg $ target_age_arg
+      $ json_arg)
+  in
+  let info =
+    Cmd.info "evaluate"
+      ~doc:
+        "Evaluate a design under failure scenarios (full report). Designs \
+         come from the built-in presets or from a design-language file."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- check --- *)
+
+let check_cmd =
+  let file =
+    let doc = "Design-language file to parse and validate." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path =
+    match Storage_spec.Spec.design_of_file path with
+    | Error e -> Error e
+    | Ok d ->
+      Fmt.pr "%a@.@." Design.pp d;
+      Fmt.pr "%a@." Utilization.pp (Utilization.compute d);
+      let warnings =
+        Storage_hierarchy.Hierarchy.warnings d.Design.hierarchy
+      in
+      List.iter (Fmt.pr "warning: %s@.") warnings;
+      (match Storage_spec.Spec.scenarios_of_file path with
+      | Ok scenarios ->
+        List.iter (fun (name, _) -> Fmt.pr "scenario: %s@." name) scenarios
+      | Error _ -> ());
+      Fmt.pr "design OK@.";
+      Ok ()
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:"Parse a design-language file and validate the design."
+  in
+  Cmd.v info Term.(term_result' Term.(const run $ file))
+
+(* --- whatif --- *)
+
+let whatif_cmd =
+  let run () =
+    print_endline (Paper_tables.table7 ());
+    Ok ()
+  in
+  let info =
+    Cmd.info "whatif" ~doc:"Compare all what-if designs (Table 7)."
+  in
+  Cmd.v info Term.(term_result' (Term.(const run $ const ())))
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let warmup =
+    let doc = "Normal-mode warmup before the failure, in days." in
+    Arg.(value & opt float 84. & info [ "warmup" ] ~docv:"DAYS" ~doc)
+  in
+  let sweep =
+    let doc =
+      "Run N additional simulations with the failure instant swept across \
+       one backup cycle, reporting min/max measured loss."
+    in
+    Arg.(value & opt int 0 & info [ "sweep" ] ~docv:"N" ~doc)
+  in
+  let outage =
+    let doc =
+      "Suppress the technique at LEVEL for the last HOURS of the warmup \
+       (format LEVEL:HOURS), injecting the failure during the outage."
+    in
+    Arg.(value & opt (some string) None & info [ "outage" ] ~docv:"LEVEL:HOURS" ~doc)
+  in
+  let parse_outage = function
+    | None -> Ok None
+    | Some raw -> (
+      match String.split_on_char ':' raw with
+      | [ level; hours ] -> (
+        match (int_of_string_opt level, float_of_string_opt hours) with
+        | Some level, Some hours when hours >= 0. ->
+          Ok (Some (level, Duration.hours hours))
+        | _ -> Error (Printf.sprintf "malformed outage %S" raw))
+      | _ -> Error (Printf.sprintf "outage must be LEVEL:HOURS, got %S" raw))
+  in
+  let trace =
+    let doc = "Print the last N simulated events (captures, propagations, \
+               recovery milestones)."
+    in
+    Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+  in
+  let run design scope target_age warmup sweep outage trace =
+    match find_design design with
+    | Error e -> Error e
+    | Ok d -> (
+      match scenario_of_scope ~target_age scope with
+      | Error e -> Error e
+      | Ok scenario ->
+      match parse_outage outage with
+      | Error e -> Error e
+      | Ok outage ->
+        let config =
+          { Storage_sim.Sim.warmup = Duration.days warmup; log = false;
+            outage; record_events = trace > 0 }
+        in
+        let show tag (m : Storage_sim.Sim.measured) =
+          Fmt.pr "%s: source=%a measured DL=%a measured RT=%a@." tag
+            Fmt.(option ~none:(any "none") int)
+            m.Storage_sim.Sim.source_level Data_loss.pp_loss
+            m.Storage_sim.Sim.data_loss
+            Fmt.(option ~none:(any "n/a") Duration.pp)
+            m.Storage_sim.Sim.recovery_time
+        in
+        let m = Storage_sim.Sim.run ~config d scenario in
+        show "simulated" m;
+        (if trace > 0 then begin
+           let events = m.Storage_sim.Sim.timeline in
+           let skip = max 0 (List.length events - trace) in
+           List.iteri
+             (fun i (t, msg) ->
+               if i >= skip then
+                 Fmt.pr "  t=%a %s@." Duration.pp t msg)
+             events
+         end);
+        let model = Evaluate.run d scenario in
+        Fmt.pr "model:     worst-case DL=%a RT=%a@." Data_loss.pp_loss
+          model.Evaluate.data_loss.Data_loss.loss Duration.pp
+          model.Evaluate.recovery_time;
+        (match outage with
+        | Some (level, duration) ->
+          let degraded =
+            Degraded.evaluate d ~disabled_level:level ~outage:duration
+              scenario
+          in
+          Fmt.pr "degraded:  worst-case DL=%a (level %d down %a)@."
+            Data_loss.pp_loss degraded.Degraded.data_loss.Data_loss.loss level
+            Duration.pp duration
+        | None -> ());
+        if sweep > 0 then begin
+          let offsets =
+            List.init sweep (fun i ->
+                Duration.hours (float_of_int (i + 1) *. 168. /. float_of_int sweep))
+          in
+          let runs =
+            Storage_sim.Sim.sweep_failure_phase ~config d scenario ~offsets
+          in
+          List.iteri
+            (fun i m -> show (Printf.sprintf "sweep %2d" (i + 1)) m)
+            runs
+        end;
+        Ok ())
+  in
+  let term =
+    Term.(
+      const run $ design_arg $ scope_arg $ target_age_arg $ warmup $ sweep
+      $ outage $ trace)
+  in
+  let info =
+    Cmd.info "simulate"
+      ~doc:
+        "Execute the design in the discrete-event simulator and compare the \
+         measured recovery against the analytical worst case."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let rto =
+    let doc = "Recovery time objective in hours (constraint)." in
+    Arg.(value & opt (some float) None & info [ "rto" ] ~docv:"HOURS" ~doc)
+  in
+  let rpo =
+    let doc = "Recovery point objective in hours (constraint)." in
+    Arg.(value & opt (some float) None & info [ "rpo" ] ~docv:"HOURS" ~doc)
+  in
+  let run rto rpo =
+    let business =
+      Business.make
+        ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+        ~loss_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+        ?recovery_time_objective:(Option.map Duration.hours rto)
+        ?recovery_point_objective:(Option.map Duration.hours rpo)
+        ()
+    in
+    let kit =
+      {
+        Storage_optimize.Candidate.workload = Cello.workload;
+        business;
+        primary = Baseline.disk_array;
+        tape_library = Baseline.tape_library;
+        vault = Baseline.vault;
+        remote_array = Baseline.remote_array;
+        san = Baseline.san;
+        shipment = Baseline.air_shipment;
+        wan = (fun links -> Baseline.oc3 ~links);
+      }
+    in
+    let candidates =
+      Storage_optimize.Candidate.enumerate kit
+        Storage_optimize.Candidate.default_space
+    in
+    let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
+    let result = Storage_optimize.Search.run candidates scenarios in
+    Fmt.pr "%a@." Storage_optimize.Search.pp result;
+    Ok ()
+  in
+  let term = Term.(const run $ rto $ rpo) in
+  let info =
+    Cmd.info "optimize"
+      ~doc:
+        "Search the design space for the cheapest design meeting the given \
+         RTO/RPO under array and site failures."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- characterize --- *)
+
+let characterize_cmd =
+  let seed =
+    let doc = "PRNG seed for the synthetic trace." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let days =
+    let doc = "Length of the generated trace in days." in
+    Arg.(value & opt float 7. & info [ "days" ] ~docv:"D" ~doc)
+  in
+  let save =
+    let doc = "Write the generated trace to a CSV file." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let load =
+    let doc =
+      "Characterize an existing trace CSV instead of generating one."
+    in
+    Arg.(value & opt (some file) None & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let import =
+    let doc =
+      "Characterize an external text block-trace (\"time op offset \
+       length\" lines) using 64 KiB blocks over a 4 GiB object."
+    in
+    Arg.(value & opt (some file) None & info [ "import" ] ~docv:"FILE" ~doc)
+  in
+  let run seed days save load import =
+    let open Storage_workload in
+    let trace_result =
+      match (load, import) with
+      | Some _, Some _ -> Error "--load and --import are mutually exclusive"
+      | Some path, None -> Trace_io.load_csv ~path
+      | None, Some path ->
+        Trace_io.import_text ~block_size:(Size.kib 64.)
+          ~data_capacity:(Size.gib 4.) ~path
+      | None, None ->
+        Ok
+          (Trace.generate ~seed:(Int64.of_int seed) Cello.trace_profile
+             (Duration.days days))
+    in
+    match trace_result with
+    | Error e -> Error e
+    | Ok trace -> (
+      let span = Trace.duration trace in
+      if Duration.to_seconds span <= 0. then Error "trace is empty"
+      else begin
+      let windows =
+        match
+          List.filter
+            (fun w -> Duration.compare w span < 0)
+            Cello.batch_windows
+        with
+        | [] -> [ Duration.scale 0.5 span ] (* very short trace *)
+        | ws -> ws
+      in
+      let workload =
+        Trace_stats.to_workload ~name:"synthetic-cello" ~windows trace
+      in
+      Fmt.pr "events: %d, raw bytes: %a@." (Trace.event_count trace) Size.pp
+        (Trace.total_bytes trace);
+      Fmt.pr "%a@." Workload.pp workload;
+      match save with
+      | None -> Ok ()
+      | Some path -> (
+        match Trace_io.save_csv trace ~path with
+        | Ok () ->
+          Fmt.pr "trace written to %s@." path;
+          Ok ()
+        | Error e -> Error e)
+      end)
+  in
+  let term = Term.(const run $ seed $ days $ save $ load $ import) in
+  let info =
+    Cmd.info "characterize"
+      ~doc:
+        "Generate a synthetic cello-like update trace and run the Table 2 \
+         workload characterization pipeline on it."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- risk --- *)
+
+let risk_cmd =
+  let object_freq =
+    let doc = "Expected user-error incidents per year." in
+    Arg.(value & opt float 12. & info [ "object-per-year" ] ~docv:"F" ~doc)
+  in
+  let array_freq =
+    let doc = "Expected array failures per year." in
+    Arg.(value & opt float 0.2 & info [ "array-per-year" ] ~docv:"F" ~doc)
+  in
+  let site_freq =
+    let doc = "Expected site disasters per year." in
+    Arg.(value & opt float 0.01 & info [ "site-per-year" ] ~docv:"F" ~doc)
+  in
+  let horizon =
+    let doc =
+      "Also sample a Monte-Carlo cost distribution over this many years."
+    in
+    Arg.(value & opt (some float) None & info [ "monte-carlo" ] ~docv:"YEARS" ~doc)
+  in
+  let run design object_freq array_freq site_freq horizon =
+    match find_design design with
+    | Error e -> Error e
+    | Ok d ->
+      let weighted =
+        [
+          { Risk.scenario = Baseline.scenario_object;
+            frequency_per_year = object_freq };
+          { Risk.scenario = Baseline.scenario_array;
+            frequency_per_year = array_freq };
+          { Risk.scenario = Baseline.scenario_site;
+            frequency_per_year = site_freq };
+        ]
+      in
+      Fmt.pr "%a@." Risk.pp (Risk.assess d weighted);
+      (match horizon with
+      | Some years when years > 0. ->
+        Fmt.pr "%a@." Risk.pp_distribution
+          (Risk.monte_carlo d weighted ~horizon_years:years)
+      | Some _ -> ()
+      | None -> ());
+      Ok ()
+  in
+  let term =
+    Term.(
+      const run $ design_arg $ object_freq $ array_freq $ site_freq $ horizon)
+  in
+  let info =
+    Cmd.info "risk"
+      ~doc:"Frequency-weighted expected annual cost of a design."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- degraded --- *)
+
+let degraded_cmd =
+  let level =
+    let doc = "Hierarchy level whose technique is out of service (1-based)." in
+    Arg.(value & opt int 2 & info [ "level" ] ~docv:"N" ~doc)
+  in
+  let outage =
+    let doc = "How long the technique has been down, in hours." in
+    Arg.(value & opt float 168. & info [ "outage" ] ~docv:"HOURS" ~doc)
+  in
+  let run design scope target_age level outage =
+    match find_design design with
+    | Error e -> Error e
+    | Ok d -> (
+      match scenario_of_scope ~target_age scope with
+      | Error e -> Error e
+      | Ok scenario ->
+        (try
+           Fmt.pr "%a@." Degraded.pp
+             (Degraded.evaluate d ~disabled_level:level
+                ~outage:(Duration.hours outage) scenario);
+           Ok ()
+         with Invalid_argument m -> Error m))
+  in
+  let term =
+    Term.(const run $ design_arg $ scope_arg $ target_age_arg $ level $ outage)
+  in
+  let info =
+    Cmd.info "degraded"
+      ~doc:
+        "Evaluate a failure that strikes while a protection technique is \
+         out of service."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- report --- *)
+
+let report_cmd =
+  let out =
+    let doc = "Write the markdown report to FILE instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let with_risk =
+    let doc =
+      "Append a risk section using the default scenario frequencies \
+       (object 12/yr, array 0.2/yr, site 0.01/yr)."
+    in
+    Arg.(value & flag & info [ "risk" ] ~doc)
+  in
+  let run design file out with_risk =
+    let design_and_scenarios =
+      match file with
+      | Some path -> (
+        match Storage_spec.Spec.design_of_file path with
+        | Error e -> Error e
+        | Ok d -> (
+          match Storage_spec.Spec.scenarios_of_file path with
+          | Error e -> Error e
+          | Ok [] ->
+            Error "the design file defines no [scenario] sections to report on"
+          | Ok scenarios -> Ok (d, scenarios)))
+      | None -> (
+        match find_design design with
+        | Error e -> Error e
+        | Ok d ->
+          Ok
+            ( d,
+              [
+                ("user error", Baseline.scenario_object);
+                ("array failure", Baseline.scenario_array);
+                ("site disaster", Baseline.scenario_site);
+              ] ))
+    in
+    match design_and_scenarios with
+    | Error e -> Error e
+    | Ok (d, scenarios) -> (
+      let risk =
+        if with_risk then
+          Some
+            [
+              { Risk.scenario = Baseline.scenario_object;
+                frequency_per_year = 12. };
+              { Risk.scenario = Baseline.scenario_array;
+                frequency_per_year = 0.2 };
+              { Risk.scenario = Baseline.scenario_site;
+                frequency_per_year = 0.01 };
+            ]
+        else None
+      in
+      let doc = Summary_report.markdown ?risk d scenarios in
+      match out with
+      | None ->
+        print_string doc;
+        Ok ()
+      | Some path -> (
+        match
+          Out_channel.with_open_text path (fun oc -> output_string oc doc)
+        with
+        | () ->
+          Fmt.pr "report written to %s@." path;
+          Ok ()
+        | exception Sys_error m -> Error m))
+  in
+  let term = Term.(const run $ design_arg $ file_arg $ out $ with_risk) in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Render a full markdown dependability report for a design (preset \
+         or design-language file)."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run design file scope target_age =
+    let design_result =
+      match file with
+      | Some path -> Storage_spec.Spec.design_of_file path
+      | None -> find_design design
+    in
+    match design_result with
+    | Error e -> Error e
+    | Ok d -> (
+      match scenario_of_scope ~target_age scope with
+      | Error e -> Error e
+      | Ok scenario ->
+        print_string (Explain.narrative d scenario);
+        Ok ())
+  in
+  let term =
+    Term.(const run $ design_arg $ file_arg $ scope_arg $ target_age_arg)
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Walk through an evaluation step by step: surviving levels, \
+         retrieval-point ranges, source selection, and the recovery path's \
+         bottlenecks."
+  in
+  Cmd.v info Term.(term_result' term)
+
+(* --- portfolio --- *)
+
+let portfolio_cmd =
+  let files =
+    let doc = "Design-language files to consolidate (devices shared by name)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run paths =
+    let rec load acc = function
+      | [] -> Ok (List.rev acc)
+      | path :: rest -> (
+        match Storage_spec.Spec.design_of_file path with
+        | Error e -> Error (path ^ ": " ^ e)
+        | Ok d -> load ((path, d) :: acc) rest)
+    in
+    match load [] paths with
+    | Error e -> Error e
+    | Ok designs -> (
+      match Portfolio.make (List.map snd designs) with
+      | Error e -> Error e
+      | Ok portfolio ->
+        Fmt.pr "%a@.@." Portfolio.pp portfolio;
+        (match Portfolio.overcommitted portfolio with
+        | [] -> Fmt.pr "consolidation fits on the shared hardware@."
+        | over ->
+          List.iter
+            (fun ((d : Storage_device.Device.t), u) ->
+              Fmt.pr "OVERCOMMITTED: %s (%a)@." d.Storage_device.Device.name
+                Storage_device.Device.pp_utilization u)
+            over);
+        (* Evaluate each member under its own file's scenarios, with the
+           neighbours' load applied. *)
+        List.iter
+          (fun (path, (original : Design.t)) ->
+            match Storage_spec.Spec.scenarios_of_file path with
+            | Error _ | Ok [] -> ()
+            | Ok scenarios ->
+              let member =
+                Option.get
+                  (Portfolio.member portfolio original.Design.name)
+              in
+              List.iter
+                (fun (name, scenario) ->
+                  let r = Evaluate.run member scenario in
+                  Fmt.pr "%s / %s: %a@." original.Design.name name
+                    Evaluate.pp_summary r)
+                scenarios)
+          designs;
+        Ok ())
+  in
+  let term = Term.(const run $ files) in
+  let info =
+    Cmd.info "portfolio"
+      ~doc:
+        "Consolidate several design files onto shared hardware and evaluate \
+         each member under the combined load."
+  in
+  Cmd.v info Term.(term_result' term)
+
+let main_cmd =
+  let doc = "storage system dependability evaluation (DSN 2004 framework)" in
+  let info = Cmd.info "ssdep" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      tables_cmd; evaluate_cmd; check_cmd; whatif_cmd; simulate_cmd;
+      optimize_cmd; characterize_cmd; risk_cmd; degraded_cmd; report_cmd;
+      portfolio_cmd; explain_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/sim_vs_model.ml: Baseline Data_loss Duration Evaluate Float Fmt List Printf Scenario Storage_device Storage_model Storage_presets Storage_report Storage_sim Storage_units String Table

@@ -1,0 +1,1 @@
+examples/trace_characterization.ml: Duration List Printf Rate Storage_presets Storage_report Storage_units Storage_workload Table Trace Trace_stats Workload

@@ -1,0 +1,1 @@
+examples/whatif_explorer.mli:

@@ -1,0 +1,82 @@
+(* Capacity planner: the automated-design loop the paper motivates.
+
+   Sweeps RTO/RPO envelopes and reports, for each, the cheapest design in
+   the candidate grid that meets the objectives under both array and site
+   failures, plus the Pareto frontier of the whole space.
+
+     dune exec examples/capacity_planner.exe *)
+
+open Storage_units
+open Storage_model
+open Storage_optimize
+open Storage_presets
+open Storage_report
+
+let kit business =
+  {
+    Candidate.workload = Cello.workload;
+    business;
+    primary = Baseline.disk_array;
+    tape_library = Baseline.tape_library;
+    vault = Baseline.vault;
+    remote_array = Baseline.remote_array;
+    san = Baseline.san;
+    shipment = Baseline.air_shipment;
+    wan = (fun links -> Baseline.oc3 ~links);
+  }
+
+let business ?rto ?rpo () =
+  Business.make
+    ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+    ~loss_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+    ?recovery_time_objective:rto ?recovery_point_objective:rpo ()
+
+let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ]
+
+let plan ?rto ?rpo label =
+  let b = business ?rto ?rpo () in
+  let candidates = Candidate.enumerate (kit b) Candidate.default_space in
+  let result = Search.run candidates scenarios in
+  let cell = function
+    | Some (s : Objective.summary) ->
+      [
+        s.Objective.design.Design.name;
+        Metric.money_m s.Objective.outlays;
+        Metric.hours s.Objective.worst_recovery_time;
+        Fmt.str "%a" Data_loss.pp_loss s.Objective.worst_loss;
+        Metric.money_m s.Objective.worst_total_cost;
+      ]
+    | None -> [ "(no feasible design)"; "-"; "-"; "-"; "-" ]
+  in
+  (label, cell result.Search.best, result)
+
+let () =
+  let envelopes =
+    [
+      ("no objectives", None, None);
+      ("RTO 48h / RPO 1wk", Some (Duration.hours 48.), Some (Duration.weeks 1.));
+      ("RTO 30h / RPO 48h", Some (Duration.hours 30.), Some (Duration.hours 48.));
+      ("RTO 12h / RPO 1h", Some (Duration.hours 12.), Some (Duration.hours 1.));
+      ("RTO 4h / RPO 5min", Some (Duration.hours 4.), Some (Duration.minutes 5.));
+    ]
+  in
+  let rows, first_result =
+    List.fold_left
+      (fun (rows, first) (label, rto, rpo) ->
+        let label, cells, result = plan ?rto ?rpo label in
+        let first = match first with None -> Some result | s -> s in
+        (rows @ [ label :: cells ], first))
+      ([], None) envelopes
+  in
+  Table.print ~title:"Cheapest feasible design per RTO/RPO envelope"
+    ~headers:
+      [ "Envelope"; "Design"; "Outlays"; "Worst RT"; "Worst DL"; "Worst total" ]
+    rows;
+  match first_result with
+  | None -> ()
+  | Some result ->
+    print_endline
+      "Pareto frontier over (outlays, worst RT, worst DL), no objectives:";
+    List.iter
+      (fun s -> Fmt.pr "  %a@." Objective.pp s)
+      result.Search.frontier

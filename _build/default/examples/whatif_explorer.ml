@@ -1,0 +1,113 @@
+(* What-if exploration: reproduce the paper's Table 7 and extend it with a
+   custom composite design (asynchronous batch mirroring *plus* tape
+   backup), showing how the compositional framework prices designs the
+   paper never evaluated.
+
+     dune exec examples/whatif_explorer.exe *)
+
+open Storage_units
+open Storage_protection
+open Storage_hierarchy
+open Storage_model
+open Storage_presets
+open Storage_report
+
+(* A belt-and-braces design: 1-minute mirror batches to the recovery site
+   for low data loss, plus weekly tape backup and vaulting for archival
+   rollback depth (the mirror alone cannot serve old targets). *)
+let mirror_plus_tape =
+  let hierarchy =
+    Hierarchy.make_exn
+      [
+        {
+          Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+          device = Baseline.disk_array;
+          link = None;
+        };
+        {
+          technique =
+            Technique.Remote_mirror
+              {
+                mode = Technique.Asynchronous_batch;
+                schedule =
+                  Schedule.simple ~acc:(Duration.minutes 1.)
+                    ~prop:(Duration.minutes 1.) ~retention_count:1 ();
+              };
+          device = Baseline.remote_array;
+          link = Some (Baseline.oc3 ~links:2);
+        };
+        {
+          technique = Technique.Backup Baseline.backup_schedule;
+          device = Baseline.tape_library;
+          link = Some Baseline.san;
+        };
+        {
+          technique =
+            Technique.Vaulting
+              (Schedule.simple ~acc:(Duration.weeks 4.)
+                 ~prop:(Duration.hours 24.)
+                 ~hold:(Duration.add (Duration.weeks 4.) (Duration.hours 12.))
+                 ~retention_count:39 ());
+          device = Baseline.vault;
+          link = Some Baseline.air_shipment;
+        };
+      ]
+  in
+  Design.make ~name:"mirror + tape" ~workload:Cello.workload ~hierarchy
+    ~business:Baseline.business ()
+
+let loss_cell (r : Evaluate.report) =
+  match r.Evaluate.data_loss.Data_loss.loss with
+  | Data_loss.Updates d when Duration.to_hours d < 1. ->
+    Printf.sprintf "%.2f hr" (Duration.to_hours d)
+  | Data_loss.Updates d -> Printf.sprintf "%.1f hr" (Duration.to_hours d)
+  | Data_loss.Entire_object -> "entire object"
+
+let print_design_rows ~title design =
+  let scenarios =
+    [
+      ("object", Baseline.scenario_object);
+      ("array", Baseline.scenario_array);
+      ("site", Baseline.scenario_site);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, scenario) ->
+        let r = Evaluate.run design scenario in
+        [
+          label;
+          Metric.money_m r.Evaluate.outlays.Cost.total;
+          Metric.hours r.Evaluate.recovery_time;
+          loss_cell r;
+          Metric.money_m r.Evaluate.penalties.Cost.total;
+          Metric.money_m r.Evaluate.total_cost;
+        ])
+      scenarios
+  in
+  Table.print ~title
+    ~headers:[ "Failure"; "Outlays"; "RT (hr)"; "DL"; "Penalties"; "Total" ]
+    ~aligns:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right ]
+    rows
+
+let () =
+  print_endline (Paper_tables.table7 ());
+  print_newline ();
+  print_design_rows
+    ~title:"Extension: asyncB mirror (2 links) + weekly tape backup + vaulting"
+    mirror_plus_tape;
+  print_endline
+    "The composite keeps the mirror's 2-minute data loss for array and site\n\
+     failures while retaining the tape hierarchy's ability to serve\n\
+     user-error rollbacks (which a mirror alone cannot).\n";
+  print_design_rows
+    ~title:
+      "Extension: 5-of-8 erasure coding (hourly batches, 24 hourly versions)"
+    (Whatif.erasure_coded ~fragments:8 ~required:5 ~links:1);
+  print_endline
+    "Erasure coding sits between the families: mirror-like wide-area\n\
+     bandwidth (coalesced hourly batches, 1.6x expansion) with a day of\n\
+     rollback depth the mirror lacks, at hour-scale rather than\n\
+     minute-scale data loss."

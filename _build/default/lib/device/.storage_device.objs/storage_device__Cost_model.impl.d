@@ -1,0 +1,1 @@
+lib/device/cost_model.ml: Fmt Money Rate Size Storage_units

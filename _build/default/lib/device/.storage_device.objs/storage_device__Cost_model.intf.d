@@ -1,0 +1,1 @@
+lib/device/cost_model.mli: Fmt Money Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/device/demand.ml: Fmt Hashtbl List Rate Size Storage_units

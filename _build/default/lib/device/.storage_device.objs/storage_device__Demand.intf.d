@@ -1,0 +1,1 @@
+lib/device/demand.mli: Fmt Rate Size Storage_units

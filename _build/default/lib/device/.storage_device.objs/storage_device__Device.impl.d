@@ -1,0 +1,1 @@
+lib/device/device.ml: Cost_model Demand Duration Fmt List Location Rate Size Spare Storage_units

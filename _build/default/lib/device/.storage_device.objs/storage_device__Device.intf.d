@@ -1,0 +1,1 @@
+lib/device/device.mli: Cost_model Demand Duration Fmt Location Rate Size Spare Storage_units

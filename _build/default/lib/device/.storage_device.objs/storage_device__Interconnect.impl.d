@@ -1,0 +1,1 @@
+lib/device/interconnect.ml: Cost_model Duration Fmt Option Rate Size Spare Storage_units

@@ -1,0 +1,1 @@
+lib/device/interconnect.mli: Cost_model Duration Fmt Money Rate Spare Storage_units

@@ -1,0 +1,1 @@
+lib/device/location.ml: Fmt List Printf String

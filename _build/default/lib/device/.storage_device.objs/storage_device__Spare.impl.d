@@ -1,0 +1,1 @@
+lib/device/spare.ml: Duration Fmt Money Storage_units

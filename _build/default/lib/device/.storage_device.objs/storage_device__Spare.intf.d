@@ -1,0 +1,1 @@
+lib/device/spare.mli: Duration Fmt Money Storage_units

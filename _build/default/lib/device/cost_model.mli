@@ -1,0 +1,40 @@
+open Storage_units
+
+(** Annualized device outlay models (Table 4).
+
+    An outlay has a fixed component (enclosure, facilities, service), a
+    per-capacity slope (disks, tape media, floorspace), a per-bandwidth slope
+    (disks, tape drives, link rental) and a per-shipment charge (couriers).
+    Slopes follow the paper's units: dollars per GiB of provisioned capacity
+    and dollars per MiB/s of provisioned bandwidth, annualized over a
+    three-year depreciation. *)
+
+type t = private {
+  fixed : Money.t;
+  per_gib : float;  (** $ per GiB of capacity, the paper's [c] coefficient *)
+  per_mib_per_sec : float;  (** $ per MiB/s of bandwidth, the paper's [b] *)
+  per_shipment : float;  (** $ per shipment, the paper's [s] *)
+}
+
+val make :
+  ?fixed:Money.t ->
+  ?per_gib:float ->
+  ?per_mib_per_sec:float ->
+  ?per_shipment:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on negative coefficients. *)
+
+val free : t
+
+val outlay :
+  t -> capacity:Size.t -> bandwidth:Rate.t -> shipments_per_year:float -> Money.t
+(** Annualized outlay for the given provisioned capacity, bandwidth and
+    yearly shipment count. *)
+
+val capacity_cost : t -> Size.t -> Money.t
+(** Just the per-capacity component (used to price a secondary technique's
+    incremental demand, §3.3.5). *)
+
+val bandwidth_cost : t -> Rate.t -> Money.t
+val pp : t Fmt.t

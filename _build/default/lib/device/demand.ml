@@ -1,0 +1,46 @@
+open Storage_units
+
+type t = { read_bw : Rate.t; write_bw : Rate.t; capacity : Size.t }
+
+let zero = { read_bw = Rate.zero; write_bw = Rate.zero; capacity = Size.zero }
+
+let make ?(read_bw = Rate.zero) ?(write_bw = Rate.zero) ?(capacity = Size.zero)
+    () =
+  { read_bw; write_bw; capacity }
+
+let add a b =
+  {
+    read_bw = Rate.add a.read_bw b.read_bw;
+    write_bw = Rate.add a.write_bw b.write_bw;
+    capacity = Size.add a.capacity b.capacity;
+  }
+
+let sum = List.fold_left add zero
+let total_bw t = Rate.add t.read_bw t.write_bw
+
+let is_zero t =
+  Rate.is_zero t.read_bw && Rate.is_zero t.write_bw && Size.is_zero t.capacity
+
+let equal a b =
+  Rate.equal a.read_bw b.read_bw
+  && Rate.equal a.write_bw b.write_bw
+  && Size.equal a.capacity b.capacity
+
+let pp ppf t =
+  Fmt.pf ppf "{r=%a w=%a cap=%a}" Rate.pp t.read_bw Rate.pp t.write_bw Size.pp
+    t.capacity
+
+type labeled = { technique : string; demand : t }
+
+let by_technique labeled =
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun { technique; demand } ->
+      match Hashtbl.find_opt table technique with
+      | None ->
+        Hashtbl.add table technique demand;
+        order := technique :: !order
+      | Some existing -> Hashtbl.replace table technique (add existing demand))
+    labeled;
+  List.rev_map (fun name -> (name, Hashtbl.find table name)) !order

@@ -1,0 +1,42 @@
+open Storage_units
+
+(** Interconnect devices: network links and physical transport (§3.2.2).
+
+    Data moves between hierarchy levels either over network links (SAN within
+    a site, leased WAN lines between sites) or by physically shipping media
+    (the "air shipment" row of Table 4). A shipment has unbounded effective
+    bandwidth and a fixed delay; a network path has an aggregate bandwidth of
+    [links * per-link bandwidth] and a (usually negligible) propagation
+    delay. *)
+
+type transport =
+  | Network of { link_bandwidth : Rate.t; links : int }
+  | Shipment  (** physical media transport; bandwidth-unconstrained *)
+
+type t = private {
+  name : string;
+  transport : transport;
+  delay : Duration.t;  (** propagation / transit delay ([devDelay]) *)
+  cost : Cost_model.t;
+  spare : Spare.t;
+}
+
+val make :
+  name:string ->
+  transport:transport ->
+  ?delay:Duration.t ->
+  ?cost:Cost_model.t ->
+  ?spare:Spare.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] for a network with non-positive link count or
+    zero link bandwidth. *)
+
+val bandwidth : t -> Rate.t option
+(** Aggregate bandwidth; [None] for shipments (unconstrained). *)
+
+val annual_cost : t -> shipments_per_year:float -> Money.t
+(** Outlay: bandwidth-priced for networks, per-shipment-priced for
+    shipments. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,51 @@
+type t = { building : string; site : string; region : string }
+
+let make ~building ~site ~region = { building; site; region }
+let building t = t.building
+let site t = t.site
+let region t = t.region
+
+let equal a b =
+  String.equal a.building b.building
+  && String.equal a.site b.site
+  && String.equal a.region b.region
+
+let pp ppf t = Fmt.pf ppf "%s/%s/%s" t.region t.site t.building
+
+type scope =
+  | Data_object
+  | Device of string
+  | Building of string
+  | Site of string
+  | Region of string
+  | Multiple of scope list
+
+let rec scope_name = function
+  | Data_object -> "data object"
+  | Device d -> Printf.sprintf "device %s" d
+  | Building b -> Printf.sprintf "building %s" b
+  | Site s -> Printf.sprintf "site %s" s
+  | Region r -> Printf.sprintf "region %s" r
+  | Multiple scopes -> String.concat " + " (List.map scope_name scopes)
+
+let rec destroys scope ~device_name loc =
+  match scope with
+  | Data_object -> false
+  | Device d -> String.equal d device_name
+  | Building b -> String.equal b loc.building
+  | Site s -> String.equal s loc.site
+  | Region r -> String.equal r loc.region
+  | Multiple scopes ->
+    List.exists (fun s -> destroys s ~device_name loc) scopes
+
+let rec corrupts_object = function
+  | Data_object -> true
+  | Device _ | Building _ | Site _ | Region _ -> false
+  | Multiple scopes -> List.exists corrupts_object scopes
+
+let rec needs_remote_spare = function
+  | Data_object | Device _ -> false
+  | Building _ | Site _ | Region _ -> true
+  | Multiple scopes -> List.exists needs_remote_spare scopes
+
+let pp_scope ppf scope = Fmt.string ppf (scope_name scope)

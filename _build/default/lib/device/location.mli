@@ -1,0 +1,47 @@
+(** Physical placement of devices, and failure scopes.
+
+    The paper's failure scenarios are expressed as a {e failure scope}: the
+    set of device locations rendered unavailable (§3.1.3). A location places
+    a device in a building, on a site, in a geographic region; scopes are
+    nested accordingly. The [Data_object] scope models user or software error:
+    no hardware fails, but the object's current contents (and everything
+    colocated with it on the primary, such as snapshots sharing physical
+    storage) are corrupt. *)
+
+type t = private { building : string; site : string; region : string }
+
+val make : building:string -> site:string -> region:string -> t
+val building : t -> string
+val site : t -> string
+val region : t -> string
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+(** Failure scopes, ordered roughly by blast radius. [Multiple] composes
+    simultaneous failures (the paper's future-work "increased number of
+    failure scopes"): a corrupting user error during a device outage, two
+    devices failing together, and so on. *)
+type scope =
+  | Data_object  (** corruption of the object; all hardware survives *)
+  | Device of string  (** failure of the named device (e.g. the array) *)
+  | Building of string
+  | Site of string
+  | Region of string
+  | Multiple of scope list  (** all of the listed failures at once *)
+
+val scope_name : scope -> string
+
+val destroys : scope -> device_name:string -> t -> bool
+(** [destroys scope ~device_name loc] holds when the failure scope takes out
+    a device named [device_name] at location [loc]. [Data_object] destroys no
+    hardware; [Multiple] destroys what any element destroys. *)
+
+val corrupts_object : scope -> bool
+(** Whether the scope includes a corrupting [Data_object] failure (so the
+    primary copy's current contents cannot serve as a recovery source). *)
+
+val needs_remote_spare : scope -> bool
+(** Whether the scope's blast radius covers colocated spares
+    (building/site/region failures, directly or within a [Multiple]). *)
+
+val pp_scope : scope Fmt.t

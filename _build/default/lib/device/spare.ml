@@ -1,0 +1,28 @@
+open Storage_units
+
+type t =
+  | No_spare
+  | Dedicated of { provisioning_time : Duration.t }
+  | Shared of { provisioning_time : Duration.t; discount : float }
+
+let provisioning_time = function
+  | No_spare -> None
+  | Dedicated { provisioning_time } | Shared { provisioning_time; _ } ->
+    Some provisioning_time
+
+let cost t ~original =
+  match t with
+  | No_spare -> Money.zero
+  | Dedicated _ -> original
+  | Shared { discount; _ } ->
+    if discount < 0. || discount > 1. then
+      invalid_arg "Spare.cost: discount outside [0, 1]";
+    Money.scale discount original
+
+let pp ppf = function
+  | No_spare -> Fmt.string ppf "none"
+  | Dedicated { provisioning_time } ->
+    Fmt.pf ppf "dedicated (%a)" Duration.pp provisioning_time
+  | Shared { provisioning_time; discount } ->
+    Fmt.pf ppf "shared (%a, %.0f%% cost)" Duration.pp provisioning_time
+      (100. *. discount)

@@ -1,0 +1,24 @@
+open Storage_units
+
+(** Spare resources (§3.2.2).
+
+    A failed device is replaced by its spare. Dedicated hot spares provision
+    quickly and cost full price; shared spares (e.g. a hosting facility that
+    must be drained and scrubbed) provision slowly and cost a fraction of the
+    dedicated price. *)
+
+type t =
+  | No_spare
+  | Dedicated of { provisioning_time : Duration.t }
+      (** [spareDisc = 1]: costs the same as the original resource. *)
+  | Shared of { provisioning_time : Duration.t; discount : float }
+      (** [discount] is the fraction of the original resource cost,
+          in [0, 1]. *)
+
+val provisioning_time : t -> Duration.t option
+(** [None] when there is no spare to provision. *)
+
+val cost : t -> original:Money.t -> Money.t
+(** Annualized outlay for the spare given the original resource outlay. *)
+
+val pp : t Fmt.t

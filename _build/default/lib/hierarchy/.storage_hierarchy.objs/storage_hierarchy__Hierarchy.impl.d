@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.ml: Age_range Array Device Duration Fmt Interconnect List Location Printf Schedule Storage_device Storage_protection Storage_units String Technique

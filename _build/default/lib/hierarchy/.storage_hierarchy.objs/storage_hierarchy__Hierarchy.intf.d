@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.mli: Age_range Device Duration Fmt Interconnect Location Storage_device Storage_protection Storage_units Technique

@@ -1,0 +1,176 @@
+open Storage_units
+open Storage_device
+open Storage_protection
+
+type level = {
+  technique : Technique.t;
+  device : Device.t;
+  link : Interconnect.t option;
+}
+
+type t = { levels : level array }
+
+let schedule_exn l =
+  match Technique.schedule l.technique with
+  | Some s -> s
+  | None -> invalid_arg "Hierarchy: level without schedule"
+
+let validate levels =
+  match levels with
+  | [] -> Error "hierarchy must have at least a primary level"
+  | primary :: rest ->
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    (match primary.technique with
+    | Technique.Primary_copy _ -> (
+      let non_primary =
+        List.exists
+          (fun l ->
+            match l.technique with
+            | Technique.Primary_copy _ -> true
+            | _ -> false)
+          rest
+      in
+      if non_primary then err "only level 0 may be a primary copy"
+      else begin
+        let missing_schedule =
+          List.exists (fun l -> Technique.schedule l.technique = None) rest
+        in
+        if missing_schedule then
+          err "every level above 0 must have a schedule"
+        else begin
+          (* Conventions on consecutive secondary levels (§3.2.1). *)
+          let rec check_pairs = function
+            | a :: (b :: _ as tl) ->
+              let sa = schedule_exn a and sb = schedule_exn b in
+              if
+                sb.Schedule.retention_count < sa.Schedule.retention_count
+              then
+                err "retention count must not decrease with level (%s -> %s)"
+                  (Technique.name a.technique)
+                  (Technique.name b.technique)
+              else if
+                Duration.compare
+                  sb.Schedule.full.Schedule.accumulation
+                  (Schedule.cycle_period sa)
+                < 0
+              then
+                err
+                  "accumulation window of %s is shorter than the cycle \
+                   period of %s"
+                  (Technique.name b.technique)
+                  (Technique.name a.technique)
+              else check_pairs tl
+            | [] | [ _ ] -> Ok ()
+          in
+          let colocation_ok =
+            List.for_all
+              (fun l ->
+                (not (Technique.colocated_with_primary l.technique))
+                || String.equal l.device.Device.name
+                     primary.device.Device.name)
+              rest
+          in
+          if not colocation_ok then
+            err
+              "split mirrors and virtual snapshots must be hosted on the \
+               primary device"
+          else check_pairs rest
+        end
+      end)
+    | _ -> err "level 0 must be a primary copy")
+
+let make levels =
+  match validate levels with
+  | Ok () -> Ok { levels = Array.of_list levels }
+  | Error _ as e -> e
+
+let make_exn levels =
+  match make levels with Ok t -> t | Error m -> invalid_arg ("Hierarchy: " ^ m)
+
+let warnings t =
+  let out = ref [] in
+  let n = Array.length t.levels in
+  for i = 1 to n - 2 do
+    let si = schedule_exn t.levels.(i) and sj = schedule_exn t.levels.(i + 1) in
+    ignore si;
+    let hold_next = sj.Schedule.full.Schedule.hold in
+    let ret_here = Schedule.retention_window si in
+    if Duration.compare hold_next ret_here > 0 then
+      out :=
+        Printf.sprintf
+          "level %d (%s): hold window exceeds level %d retention window; \
+           extra retention capacity is required at level %d"
+          (i + 1)
+          (Technique.name t.levels.(i + 1).technique)
+          i i
+        :: !out
+  done;
+  List.rev !out
+
+let length t = Array.length t.levels
+
+let level t i =
+  if i < 0 || i >= Array.length t.levels then
+    invalid_arg "Hierarchy.level: index out of range";
+  t.levels.(i)
+
+let levels t = Array.to_list t.levels
+let primary t = t.levels.(0)
+
+let upstream_lag t j =
+  if j < 0 || j >= Array.length t.levels then
+    invalid_arg "Hierarchy.upstream_lag: index out of range";
+  let acc = ref Duration.zero in
+  for i = 1 to j - 1 do
+    let w = Schedule.onward_windows (schedule_exn t.levels.(i)) in
+    acc :=
+      Duration.sum [ !acc; w.Schedule.hold; w.Schedule.propagation ]
+  done;
+  !acc
+
+let worst_lag t j =
+  if j = 0 then Duration.zero
+  else Schedule.worst_lag (schedule_exn t.levels.(j)) ~upstream:(upstream_lag t j)
+
+let best_lag t j =
+  if j = 0 then Duration.zero
+  else Schedule.best_lag (schedule_exn t.levels.(j)) ~upstream:(upstream_lag t j)
+
+let retention_span t j =
+  if j = 0 then Duration.zero
+  else Schedule.retention_span (schedule_exn t.levels.(j))
+
+let guaranteed_range t j =
+  if j = 0 then Some (Age_range.make ~newest_age:Duration.zero ~oldest_age:Duration.zero)
+  else begin
+    let newest = worst_lag t j in
+    let oldest = Duration.add (best_lag t j) (retention_span t j) in
+    if Duration.compare newest oldest > 0 then None
+    else Some (Age_range.make ~newest_age:newest ~oldest_age:oldest)
+  end
+
+let surviving_levels t ~scope =
+  let n = Array.length t.levels in
+  let alive = ref [] in
+  for j = n - 1 downto 0 do
+    let l = t.levels.(j) in
+    let destroyed =
+      Location.destroys scope ~device_name:l.device.Device.name
+        l.device.Device.location
+    in
+    let corrupt = Location.corrupts_object scope && j = 0 in
+    if (not destroyed) && not corrupt then alive := j :: !alive
+  done;
+  !alive
+
+let pp ppf t =
+  let pp_level ppf (j, l) =
+    Fmt.pf ppf "level %d: %a on %s%a" j Technique.pp l.technique
+      l.device.Device.name
+      (Fmt.option (fun ppf link ->
+           Fmt.pf ppf " via %s" link.Interconnect.name))
+      l.link
+  in
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut pp_level)
+    (List.mapi (fun j l -> (j, l)) (Array.to_list t.levels))

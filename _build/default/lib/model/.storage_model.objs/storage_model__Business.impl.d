@@ -1,0 +1,1 @@
+lib/model/business.ml: Duration Fmt Money_rate Storage_units

@@ -1,0 +1,1 @@
+lib/model/business.mli: Duration Fmt Money_rate Storage_units

@@ -1,0 +1,1 @@
+lib/model/cost.mli: Business Data_loss Design Duration Fmt Money Storage_units

@@ -1,0 +1,1 @@
+lib/model/data_loss.ml: Age_range Design Duration Fmt Hierarchy List Option Scenario Schedule Storage_hierarchy Storage_protection Storage_units Technique

@@ -1,0 +1,1 @@
+lib/model/data_loss.mli: Design Duration Fmt Scenario Storage_units

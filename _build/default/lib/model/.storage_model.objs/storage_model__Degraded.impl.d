@@ -1,0 +1,1 @@
+lib/model/degraded.ml: Age_range Data_loss Design Duration Fmt Hierarchy List Option Recovery_time Scenario Schedule Storage_hierarchy Storage_protection Storage_units Technique

@@ -1,0 +1,1 @@
+lib/model/degraded.mli: Data_loss Design Duration Fmt Scenario Storage_units

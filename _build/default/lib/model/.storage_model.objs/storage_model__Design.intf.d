@@ -1,0 +1,1 @@
+lib/model/design.mli: Business Demand Device Fmt Hierarchy Interconnect Raid Rate Storage_device Storage_hierarchy Storage_protection Storage_units Storage_workload Workload

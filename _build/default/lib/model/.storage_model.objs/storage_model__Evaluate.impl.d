@@ -1,0 +1,1 @@
+lib/model/evaluate.ml: Business Cost Data_loss Design Duration Fmt List Money Option Recovery_time Scenario Storage_device Storage_units Utilization

@@ -1,0 +1,1 @@
+lib/model/evaluate.mli: Cost Data_loss Design Duration Fmt Money Recovery_time Scenario Storage_units Utilization

@@ -1,0 +1,1 @@
+lib/model/explain.mli: Design Scenario

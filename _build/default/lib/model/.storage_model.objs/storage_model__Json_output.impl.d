@@ -1,0 +1,1 @@
+lib/model/json_output.ml: Cost Data_loss Device Duration Evaluate Json List Location Money Rate Risk Scenario Size Storage_device Storage_report Storage_units Utilization

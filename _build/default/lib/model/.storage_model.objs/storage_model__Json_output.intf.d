@@ -1,0 +1,1 @@
+lib/model/json_output.mli: Evaluate Json Risk Storage_report

@@ -1,0 +1,1 @@
+lib/model/portfolio.ml: Cost Demand Design Device Evaluate Fmt Hashtbl List Money Printf Storage_device Storage_units String

@@ -1,0 +1,1 @@
+lib/model/portfolio.mli: Design Device Evaluate Fmt Money Scenario Storage_device Storage_units

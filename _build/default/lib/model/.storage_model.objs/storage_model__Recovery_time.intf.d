@@ -1,0 +1,1 @@
+lib/model/recovery_time.mli: Design Duration Fmt Rate Scenario Size Storage_hierarchy Storage_units

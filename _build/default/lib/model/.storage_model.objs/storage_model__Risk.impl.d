@@ -1,0 +1,1 @@
+lib/model/risk.ml: Array Cost Design Evaluate Float Fmt List Money Scenario Storage_device Storage_units Storage_workload

@@ -1,0 +1,1 @@
+lib/model/risk.mli: Design Evaluate Fmt Money Scenario Storage_units

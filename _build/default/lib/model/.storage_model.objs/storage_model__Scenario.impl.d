@@ -1,0 +1,1 @@
+lib/model/scenario.ml: Duration Fmt Location Size Storage_device Storage_units

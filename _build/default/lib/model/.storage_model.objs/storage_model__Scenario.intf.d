@@ -1,0 +1,1 @@
+lib/model/scenario.mli: Duration Fmt Location Size Storage_device Storage_units

@@ -1,0 +1,1 @@
+lib/model/summary_report.mli: Design Risk Scenario

@@ -1,0 +1,1 @@
+lib/model/utilization.ml: Demand Design Device Float Fmt Hashtbl Interconnect List Rate Size Storage_device Storage_hierarchy Storage_units

@@ -1,0 +1,1 @@
+lib/model/utilization.mli: Demand Design Device Fmt Interconnect Storage_device Storage_units

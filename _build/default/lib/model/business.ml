@@ -1,0 +1,27 @@
+open Storage_units
+
+type t = {
+  outage_penalty_rate : Money_rate.t;
+  loss_penalty_rate : Money_rate.t;
+  recovery_time_objective : Duration.t option;
+  recovery_point_objective : Duration.t option;
+  total_loss_equivalent : Duration.t;
+}
+
+let make ~outage_penalty_rate ~loss_penalty_rate ?recovery_time_objective
+    ?recovery_point_objective ?(total_loss_equivalent = Duration.years 3.) () =
+  {
+    outage_penalty_rate;
+    loss_penalty_rate;
+    recovery_time_objective;
+    recovery_point_objective;
+    total_loss_equivalent;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "outage %a, loss %a%a%a" Money_rate.pp t.outage_penalty_rate
+    Money_rate.pp t.loss_penalty_rate
+    (Fmt.option (fun ppf d -> Fmt.pf ppf ", RTO %a" Duration.pp d))
+    t.recovery_time_objective
+    (Fmt.option (fun ppf d -> Fmt.pf ppf ", RPO %a" Duration.pp d))
+    t.recovery_point_objective

@@ -1,0 +1,29 @@
+open Storage_units
+
+(** Business requirement inputs (§3.1.2).
+
+    Penalty rates convert the output metrics into dollars; the optional
+    objectives (RTO/RPO) are thresholds used by the optimizer and by
+    compliance checks, not by the penalty calculation itself. *)
+
+type t = private {
+  outage_penalty_rate : Money_rate.t;  (** [unavailPenRate] *)
+  loss_penalty_rate : Money_rate.t;  (** [lossPenRate] *)
+  recovery_time_objective : Duration.t option;  (** RTO *)
+  recovery_point_objective : Duration.t option;  (** RPO *)
+  total_loss_equivalent : Duration.t;
+      (** loss duration charged when recovery is impossible and the entire
+          object is lost; the paper's case study never reaches this case
+          (default: three years, the vault retention horizon) *)
+}
+
+val make :
+  outage_penalty_rate:Money_rate.t ->
+  loss_penalty_rate:Money_rate.t ->
+  ?recovery_time_objective:Duration.t ->
+  ?recovery_point_objective:Duration.t ->
+  ?total_loss_equivalent:Duration.t ->
+  unit ->
+  t
+
+val pp : t Fmt.t

@@ -1,0 +1,126 @@
+open Storage_units
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+
+type item = { technique : string; component : string; amount : Money.t }
+
+type outlays = {
+  items : item list;
+  by_technique : (string * Money.t) list;
+  total : Money.t;
+}
+
+let device_items design (dev : Device.t) =
+  let owner = Design.primary_technique_of_device design dev in
+  let shares = Demand.by_technique (Design.demands_on design dev) in
+  let base_items =
+    List.concat_map
+      (fun (technique, demand) ->
+        let items = ref [] in
+        let push component amount =
+          if not (Money.is_zero amount) then
+            items := { technique; component; amount } :: !items
+        in
+        if String.equal technique owner then
+          push (dev.Device.name ^ " fixed") dev.Device.cost.Cost_model.fixed;
+        push
+          (dev.Device.name ^ " capacity")
+          (Cost_model.capacity_cost dev.Device.cost demand.Demand.capacity);
+        push
+          (dev.Device.name ^ " bandwidth")
+          (Cost_model.bandwidth_cost dev.Device.cost (Demand.total_bw demand));
+        List.rev !items)
+      shares
+  in
+  (* Spares shadow the device: each technique's share is multiplied by the
+     spare's cost factor (§3.3.5, "allocated in a similar fashion"). *)
+  let spare_items label spare =
+    List.filter_map
+      (fun { technique; component; amount } ->
+        let cost = Spare.cost spare ~original:amount in
+        if Money.is_zero cost then None
+        else Some { technique; component = component ^ " " ^ label; amount = cost })
+      base_items
+  in
+  base_items
+  @ spare_items "spare" dev.Device.spare
+  @ spare_items "remote spare" dev.Device.remote_spare
+
+let link_items design =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (l : Hierarchy.level) ->
+      match l.Hierarchy.link with
+      | None -> None
+      | Some link ->
+        if Hashtbl.mem seen link.Interconnect.name then None
+        else begin
+          Hashtbl.add seen link.Interconnect.name ();
+          let shipments =
+            match (link.Interconnect.transport, Technique.schedule l.technique)
+            with
+            | Interconnect.Shipment, Some s -> Demands.shipments_per_year s
+            | _ -> 0.
+          in
+          let amount =
+            Interconnect.annual_cost link ~shipments_per_year:shipments
+          in
+          if Money.is_zero amount then None
+          else
+            Some
+              {
+                technique = Technique.name l.technique;
+                component = "link " ^ link.Interconnect.name;
+                amount;
+              }
+        end)
+    (Hierarchy.levels design.Design.hierarchy)
+
+let group_by_technique items =
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun { technique; amount; _ } ->
+      match Hashtbl.find_opt table technique with
+      | None ->
+        Hashtbl.add table technique amount;
+        order := technique :: !order
+      | Some acc -> Hashtbl.replace table technique (Money.add acc amount))
+    items;
+  List.rev_map (fun name -> (name, Hashtbl.find table name)) !order
+
+let outlays design =
+  let items =
+    List.concat_map (device_items design) (Design.devices design)
+    @ link_items design
+  in
+  {
+    items;
+    by_technique = group_by_technique items;
+    total = Money.sum (List.map (fun i -> i.amount) items);
+  }
+
+type penalties = { outage : Money.t; loss : Money.t; total : Money.t }
+
+let penalties (business : Business.t) ~recovery_time ~loss =
+  let outage =
+    Money_rate.charge business.Business.outage_penalty_rate recovery_time
+  in
+  let loss_duration =
+    match (loss : Data_loss.loss) with
+    | Data_loss.Updates d -> d
+    | Data_loss.Entire_object -> business.Business.total_loss_equivalent
+  in
+  let loss = Money_rate.charge business.Business.loss_penalty_rate loss_duration in
+  { outage; loss; total = Money.add outage loss }
+
+let pp_outlays ppf t =
+  let pp_tech ppf (name, amount) = Fmt.pf ppf "  %-20s %a" name Money.pp amount in
+  Fmt.pf ppf "@[<v>outlays:@,%a@,  %-20s %a@]"
+    (Fmt.list ~sep:Fmt.cut pp_tech)
+    t.by_technique "total" Money.pp t.total
+
+let pp_penalties ppf t =
+  Fmt.pf ppf "penalties: outage %a + loss %a = %a" Money.pp t.outage Money.pp
+    t.loss Money.pp t.total

@@ -1,0 +1,83 @@
+open Storage_units
+open Storage_protection
+open Storage_hierarchy
+
+type loss = Updates of Duration.t | Entire_object
+
+let compare_loss a b =
+  match (a, b) with
+  | Updates d1, Updates d2 -> Duration.compare d1 d2
+  | Updates _, Entire_object -> -1
+  | Entire_object, Updates _ -> 1
+  | Entire_object, Entire_object -> 0
+
+type t = {
+  source_level : int option;
+  loss : loss;
+  candidates : (int * loss) list;
+}
+
+let level_loss hierarchy j ~target_age =
+  if j = 0 then
+    (* The primary copy holds the current state: only a "now" target. *)
+    if Duration.is_zero target_age then Updates Duration.zero
+    else Entire_object
+  else begin
+    let worst = Hierarchy.worst_lag hierarchy j in
+    match Hierarchy.guaranteed_range hierarchy j with
+    | Some range ->
+      if Duration.compare target_age (Age_range.newest_age range) < 0 then
+        Updates (Duration.sub worst target_age)
+      else if Age_range.contains range target_age then
+        Updates
+          (Schedule.rp_interval_min
+             (Option.get
+                (Technique.schedule
+                   (Hierarchy.level hierarchy j).Hierarchy.technique)))
+      else Entire_object
+    | None ->
+      (* Retention too shallow to guarantee a range (e.g. a mirror with
+         retCnt = 1): only targets newer than the worst lag are served. *)
+      if Duration.compare target_age worst < 0 then
+        Updates (Duration.sub worst target_age)
+      else Entire_object
+  end
+
+let compute design scenario =
+  let h = design.Design.hierarchy in
+  let scope = scenario.Scenario.scope and age = scenario.Scenario.target_age in
+  let survivors = Hierarchy.surviving_levels h ~scope in
+  let primary_intact = List.mem 0 survivors in
+  if primary_intact && Duration.is_zero age then
+    { source_level = None; loss = Updates Duration.zero; candidates = [] }
+  else begin
+    let candidates =
+      List.filter_map
+        (fun j ->
+          if j = 0 then None else Some (j, level_loss h j ~target_age:age))
+        survivors
+    in
+    match candidates with
+    | [] -> { source_level = None; loss = Entire_object; candidates = [] }
+    | first :: rest ->
+      let best_level, best_loss =
+        List.fold_left
+          (fun (bj, bl) (j, l) ->
+            if compare_loss l bl < 0 then (j, l) else (bj, bl))
+          first rest
+      in
+      (match best_loss with
+      | Entire_object ->
+        { source_level = None; loss = Entire_object; candidates }
+      | Updates _ ->
+        { source_level = Some best_level; loss = best_loss; candidates })
+  end
+
+let pp_loss ppf = function
+  | Updates d -> Duration.pp ppf d
+  | Entire_object -> Fmt.string ppf "entire object"
+
+let pp ppf t =
+  Fmt.pf ppf "loss %a%a" pp_loss t.loss
+    (Fmt.option (fun ppf j -> Fmt.pf ppf " (source: level %d)" j))
+    t.source_level

@@ -1,0 +1,39 @@
+open Storage_units
+
+(** Worst-case recent data loss and recovery-source selection (§3.3.3).
+
+    Given the failure scope and the recovery target, each surviving level is
+    scored by the worst-case amount of recent updates that would be lost if
+    it served the recovery; the level with the closest match becomes the
+    recovery source. *)
+
+type loss =
+  | Updates of Duration.t
+      (** recent updates lost, as a time-window of writes *)
+  | Entire_object
+      (** no surviving level retains an RP old/new enough: total loss *)
+
+val compare_loss : loss -> loss -> int
+(** Orders by severity: fewer lost updates first; [Entire_object] last. *)
+
+type t = {
+  source_level : int option;
+      (** the chosen recovery source; [None] when the primary is intact and
+          no recovery is needed, or when no recovery is possible *)
+  loss : loss;
+  candidates : (int * loss) list;
+      (** worst-case loss of every surviving candidate level *)
+}
+
+val compute : Design.t -> Scenario.t -> t
+(** Worst-case loss per level [j] for a target of age [A] (§3.3.3):
+    - target not yet propagated ([A] newer than the level's worst lag):
+      loss is the lag minus [A];
+    - target within the guaranteed range: loss is one RP interval ([accW]);
+    - target older than retention: the level cannot serve ([Entire_object]).
+
+    When the primary copy survives and the target is "now", no recovery is
+    needed and the loss is zero. *)
+
+val pp_loss : loss Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,127 @@
+open Storage_units
+open Storage_protection
+open Storage_hierarchy
+
+type report = {
+  disabled_level : int;
+  outage : Duration.t;
+  data_loss : Data_loss.t;
+  recovery_time : Duration.t option;
+  baseline_loss : Data_loss.t;
+  added_loss : Duration.t;
+}
+
+(* Worst-case loss of level [j] for a target [age] in the past, with the
+   whole RP range of affected levels shifted [shift] older (no new RPs
+   flowed during the outage; retained ones aged in place). *)
+let level_loss hierarchy j ~target_age ~shift =
+  if j = 0 then
+    if Duration.is_zero target_age then Data_loss.Updates Duration.zero
+    else Data_loss.Entire_object
+  else begin
+    let worst = Duration.add (Hierarchy.worst_lag hierarchy j) shift in
+    let interval =
+      Schedule.rp_interval_min
+        (Option.get
+           (Technique.schedule (Hierarchy.level hierarchy j).Hierarchy.technique))
+    in
+    match Hierarchy.guaranteed_range hierarchy j with
+    | Some range ->
+      let newest = Duration.add (Age_range.newest_age range) shift in
+      let oldest = Duration.add (Age_range.oldest_age range) shift in
+      if Duration.compare target_age newest < 0 then
+        Data_loss.Updates (Duration.sub worst target_age)
+      else if Duration.compare target_age oldest <= 0 then
+        Data_loss.Updates interval
+      else Data_loss.Entire_object
+    | None ->
+      if Duration.compare target_age worst < 0 then
+        Data_loss.Updates (Duration.sub worst target_age)
+      else Data_loss.Entire_object
+  end
+
+let degraded_data_loss design ~disabled_level ~outage scenario =
+  let h = design.Design.hierarchy in
+  let scope = scenario.Scenario.scope and age = scenario.Scenario.target_age in
+  let survivors = Hierarchy.surviving_levels h ~scope in
+  let primary_intact = List.mem 0 survivors in
+  if primary_intact && Duration.is_zero age then
+    {
+      Data_loss.source_level = None;
+      loss = Data_loss.Updates Duration.zero;
+      candidates = [];
+    }
+  else begin
+    (* The disabled level's retained RPs stay readable — the outage stops
+       the flow of new ones — so it and everything fed through it serve
+       with [outage] extra staleness. *)
+    let candidates =
+      List.filter_map
+        (fun j ->
+          if j = 0 then None
+          else begin
+            let shift =
+              if j >= disabled_level then outage else Duration.zero
+            in
+            Some (j, level_loss h j ~target_age:age ~shift)
+          end)
+        survivors
+    in
+    match candidates with
+    | [] ->
+      {
+        Data_loss.source_level = None;
+        loss = Data_loss.Entire_object;
+        candidates = [];
+      }
+    | first :: rest ->
+      let best_level, best_loss =
+        List.fold_left
+          (fun (bj, bl) (j, l) ->
+            if Data_loss.compare_loss l bl < 0 then (j, l) else (bj, bl))
+          first rest
+      in
+      (match best_loss with
+      | Data_loss.Entire_object ->
+        { Data_loss.source_level = None; loss = best_loss; candidates }
+      | Data_loss.Updates _ ->
+        { Data_loss.source_level = Some best_level; loss = best_loss; candidates })
+  end
+
+let evaluate design ~disabled_level ~outage scenario =
+  let h = design.Design.hierarchy in
+  if disabled_level <= 0 || disabled_level >= Hierarchy.length h then
+    invalid_arg "Degraded.evaluate: disabled level out of range";
+  let data_loss = degraded_data_loss design ~disabled_level ~outage scenario in
+  let baseline_loss = Data_loss.compute design scenario in
+  let recovery_time =
+    match data_loss.Data_loss.source_level with
+    | Some level when level > 0 -> (
+      match Recovery_time.compute design scenario ~source_level:level with
+      | Ok t -> Some t.Recovery_time.total
+      | Error _ -> None)
+    | Some _ -> Some Duration.zero
+    | None -> None
+  in
+  let added_loss =
+    match (data_loss.Data_loss.loss, baseline_loss.Data_loss.loss) with
+    | Data_loss.Updates degraded, Data_loss.Updates healthy ->
+      Duration.sub degraded healthy
+    | _ -> Duration.zero
+  in
+  {
+    disabled_level;
+    outage;
+    data_loss;
+    recovery_time;
+    baseline_loss;
+    added_loss;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "level %d down for %a: loss %a (healthy %a, +%a)%a" r.disabled_level
+    Duration.pp r.outage Data_loss.pp_loss r.data_loss.Data_loss.loss
+    Data_loss.pp_loss r.baseline_loss.Data_loss.loss Duration.pp r.added_loss
+    (Fmt.option (fun ppf rt -> Fmt.pf ppf ", RT %a" Duration.pp rt))
+    r.recovery_time

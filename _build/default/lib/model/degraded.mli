@@ -1,0 +1,39 @@
+open Storage_units
+
+(** Degraded-mode operation: evaluating dependability while a data
+    protection technique is out of service (the paper's §5 future work).
+
+    When a level's technique is down for some outage duration — a paused
+    backup service, a severed mirror link — no new retrieval points flow
+    to it or past it, but its retained RPs stay readable. The level (and
+    every level fed through it) therefore serves recoveries with RPs that
+    are staler by the outage duration, so a failure that strikes {e before
+    the technique is repaired} suffers correspondingly larger data
+    loss. *)
+
+type report = {
+  disabled_level : int;
+  outage : Duration.t;
+  data_loss : Data_loss.t;
+      (** worst-case loss if the failure strikes at the end of the
+          outage *)
+  recovery_time : Duration.t option;
+      (** [None] when no recovery is possible or needed *)
+  baseline_loss : Data_loss.t;  (** healthy-system loss, for comparison *)
+  added_loss : Duration.t;
+      (** extra worst-case update loss attributable to the outage (zero
+          when the recovery source is unaffected or either case loses the
+          entire object) *)
+}
+
+val evaluate :
+  Design.t -> disabled_level:int -> outage:Duration.t -> Scenario.t -> report
+(** Evaluates the scenario assuming the technique at [disabled_level] has
+    been out of service for [outage]. Levels at or above the disabled one
+    carry RPs that are [outage] staler than in normal operation; levels
+    whose guaranteed range would expire entirely (retention shorter than
+    the outage) cannot serve targets at all. Raises [Invalid_argument] if
+    [disabled_level] is 0 (the primary copy is not a protection technique)
+    or out of range. *)
+
+val pp : report Fmt.t

@@ -1,0 +1,151 @@
+open Storage_units
+open Storage_workload
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+
+type t = {
+  name : string;
+  workload : Workload.t;
+  hierarchy : Hierarchy.t;
+  business : Business.t;
+  background : (string * Demand.labeled list) list;
+}
+
+let make ~name ~workload ~hierarchy ~business ?(background = []) () =
+  { name; workload; hierarchy; business; background }
+
+let primary_raid t =
+  match (Hierarchy.primary t.hierarchy).Hierarchy.technique with
+  | Technique.Primary_copy { raid } -> raid
+  | _ -> assert false (* enforced by Hierarchy.make *)
+
+let devices t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (l : Hierarchy.level) ->
+      let name = l.device.Device.name in
+      if Hashtbl.mem seen name then None
+      else begin
+        Hashtbl.add seen name ();
+        Some l.device
+      end)
+    (Hierarchy.levels t.hierarchy)
+
+let device t name =
+  List.find_opt (fun d -> String.equal d.Device.name name) (devices t)
+
+(* The RAID capacity factor charged for a level's copies: colocated
+   techniques inherit the primary array's organization; everything else is
+   charged logical capacity (§3.2.3 charges mirror destinations "the data
+   capacity"). *)
+let host_raid_for t (l : Hierarchy.level) =
+  if Technique.colocated_with_primary l.technique then primary_raid t
+  else Raid.Raid0
+
+let placements t =
+  let h = t.hierarchy in
+  List.mapi
+    (fun j (l : Hierarchy.level) ->
+      let upstream =
+        if j = 0 then None
+        else Technique.schedule (Hierarchy.level h (j - 1)).Hierarchy.technique
+      in
+      let placement =
+        Demands.of_technique ~workload:t.workload
+          ~host_raid:(host_raid_for t l) ?upstream l.technique
+      in
+      (j, l, placement))
+    (Hierarchy.levels h)
+
+let demands_on t dev =
+  let h = t.hierarchy in
+  let name = dev.Device.name in
+  List.concat_map
+    (fun (j, (l : Hierarchy.level), (p : Demands.placement)) ->
+      let target =
+        if String.equal l.device.Device.name name then
+          [ { Demand.technique = Technique.name l.technique;
+              demand = p.on_target } ]
+        else []
+      in
+      let source =
+        if j > 0 && not (Demand.is_zero p.on_source) then begin
+          let src = (Hierarchy.level h (j - 1)).Hierarchy.device in
+          if String.equal src.Device.name name then
+            [ { Demand.technique = Technique.name l.technique;
+                demand = p.on_source } ]
+          else []
+        end
+        else []
+      in
+      target @ source)
+    (placements t)
+  |> List.filter (fun l -> not (Demand.is_zero l.Demand.demand))
+
+let loaded_demands_on t dev =
+  let extra =
+    match List.assoc_opt dev.Device.name t.background with
+    | Some demands -> demands
+    | None -> []
+  in
+  demands_on t dev @ extra
+
+let link_demand t (link : Interconnect.t) =
+  List.fold_left
+    (fun acc (_, (l : Hierarchy.level), (p : Demands.placement)) ->
+      match l.link with
+      | Some lk when String.equal lk.Interconnect.name link.Interconnect.name
+        ->
+        Rate.add acc p.on_link
+      | Some _ | None -> acc)
+    Rate.zero (placements t)
+
+let primary_technique_of_device t dev =
+  let owner =
+    List.find_opt
+      (fun (l : Hierarchy.level) ->
+        String.equal l.device.Device.name dev.Device.name)
+      (Hierarchy.levels t.hierarchy)
+  in
+  match owner with
+  | Some l -> Technique.name l.technique
+  | None -> invalid_arg "Design.primary_technique_of_device: unknown device"
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  List.iter
+    (fun dev ->
+      let u = Device.utilization dev (loaded_demands_on t dev) in
+      if u.Device.capacity_fraction > 1. then
+        err "device %s capacity overcommitted: %.1f%%" dev.Device.name
+          (100. *. u.Device.capacity_fraction);
+      if u.Device.bandwidth_fraction > 1. then
+        err "device %s bandwidth overcommitted: %.1f%%" dev.Device.name
+          (100. *. u.Device.bandwidth_fraction))
+    (devices t);
+  List.iter
+    (fun (l : Hierarchy.level) ->
+      let required =
+        Demands.required_link_bandwidth ~workload:t.workload l.technique
+      in
+      if not (Rate.is_zero required) then begin
+        match l.link with
+        | None ->
+          err "%s requires an interconnect" (Technique.name l.technique)
+        | Some link -> (
+          match Interconnect.bandwidth link with
+          | Some bw when Rate.compare bw required < 0 ->
+            err "link %s (%s) cannot sustain %s traffic (%s required)"
+              link.Interconnect.name (Rate.to_string bw)
+              (Technique.name l.technique)
+              (Rate.to_string required)
+          | Some _ | None -> ())
+      end)
+    (Hierarchy.levels t.hierarchy);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>design %s:@,%a@,%a@,business: %a@]" t.name Workload.pp
+    t.workload Hierarchy.pp t.hierarchy Business.pp t.business

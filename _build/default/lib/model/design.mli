@@ -1,0 +1,73 @@
+open Storage_units
+open Storage_workload
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+
+(** A complete storage system design: workload + protection hierarchy +
+    business requirements.
+
+    The design maps every technique's abstract demands (§3.2.3) onto the
+    concrete devices and interconnects of the hierarchy, yielding the
+    labeled per-device demand sets consumed by the utilization, recovery
+    and cost models. *)
+
+type t = private {
+  name : string;
+  workload : Workload.t;
+  hierarchy : Hierarchy.t;
+  business : Business.t;
+  background : (string * Demand.labeled list) list;
+      (** demands other tenants place on this design's devices (device name
+          -> labeled demands); they consume capacity and bandwidth but are
+          not billed to this design (see {!Portfolio}) *)
+}
+
+val make :
+  name:string ->
+  workload:Workload.t ->
+  hierarchy:Hierarchy.t ->
+  business:Business.t ->
+  ?background:(string * Demand.labeled list) list ->
+  unit ->
+  t
+
+val primary_raid : t -> Raid.t
+(** RAID organization of the primary array (from the level-0 technique). *)
+
+val devices : t -> Device.t list
+(** The distinct devices of the hierarchy, in first-appearance order
+    (identity by device name). *)
+
+val device : t -> string -> Device.t option
+
+val demands_on : t -> Device.t -> Demand.labeled list
+(** This design's own normal-mode demands landing on one device, labeled
+    by technique: a level's [on_target] lands on its own device, its
+    [on_source] on the previous level's device. Colocated techniques
+    (split mirror, snapshot) are charged the primary array's RAID capacity
+    factor; remote-mirror destinations are charged logical capacity,
+    matching §3.2.3. Cost allocation uses this set.
+
+    {b Note}: utilization, overcommit validation and recovery-bandwidth
+    calculations use {!loaded_demands_on}, which also includes background
+    tenants. *)
+
+val loaded_demands_on : t -> Device.t -> Demand.labeled list
+(** {!demands_on} plus any background demands registered for the device:
+    the full load the hardware actually carries. *)
+
+val link_demand : t -> Interconnect.t -> Rate.t
+(** Sustained normal-mode bandwidth demand on an interconnect. *)
+
+val primary_technique_of_device : t -> Device.t -> string
+(** Name of the technique that "owns" a device for cost allocation
+    (§3.3.5): the lowest hierarchy level hosted on it. *)
+
+val validate : t -> (unit, string list) result
+(** Full design validation: hierarchy warnings are not errors, but the
+    following are: any device overcommitted in capacity or bandwidth
+    (§3.3.1's global check), and any mirror link with less aggregate
+    bandwidth than the mode requires (peak rate for synchronous mirrors). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,89 @@
+open Storage_units
+
+type report = {
+  design_name : string;
+  scenario : Scenario.t;
+  utilization : Utilization.report;
+  data_loss : Data_loss.t;
+  recovery : Recovery_time.timeline option;
+  recovery_time : Duration.t;
+  outlays : Cost.outlays;
+  penalties : Cost.penalties;
+  total_cost : Money.t;
+  meets_rto : bool option;
+  meets_rpo : bool option;
+  errors : string list;
+}
+
+let run design scenario =
+  let validation_errors =
+    match Design.validate design with Ok () -> [] | Error es -> es
+  in
+  let utilization = Utilization.compute design in
+  let data_loss = Data_loss.compute design scenario in
+  let recovery, recovery_errors =
+    match data_loss.Data_loss.source_level with
+    | None -> (None, [])
+    | Some 0 -> (None, [])
+    | Some source_level -> (
+      match Recovery_time.compute design scenario ~source_level with
+      | Ok t -> (Some t, [])
+      | Error e -> (None, [ e ]))
+  in
+  let recovery_time =
+    match recovery with
+    | Some t -> t.Recovery_time.total
+    | None -> Duration.zero
+  in
+  let business = design.Design.business in
+  let penalties =
+    Cost.penalties business ~recovery_time ~loss:data_loss.Data_loss.loss
+  in
+  let outlays = Cost.outlays design in
+  let meets objective value =
+    Option.map (fun bound -> Duration.compare value bound <= 0) objective
+  in
+  let loss_duration =
+    match data_loss.Data_loss.loss with
+    | Data_loss.Updates d -> Some d
+    | Data_loss.Entire_object -> None
+  in
+  {
+    design_name = design.Design.name;
+    scenario;
+    utilization;
+    data_loss;
+    recovery;
+    recovery_time;
+    outlays;
+    penalties;
+    total_cost = Money.add outlays.Cost.total penalties.Cost.total;
+    meets_rto = meets business.Business.recovery_time_objective recovery_time;
+    meets_rpo =
+      (match loss_duration with
+      | Some d -> meets business.Business.recovery_point_objective d
+      | None ->
+        Option.map (fun _ -> false) business.Business.recovery_point_objective);
+    errors = validation_errors @ recovery_errors;
+  }
+
+let run_all design scenarios = List.map (run design) scenarios
+
+let pp_summary ppf r =
+  Fmt.pf ppf "%-24s %-16s RT %-10s DL %-10s pen %-9s total %s" r.design_name
+    (Fmt.str "%a" Storage_device.Location.pp_scope r.scenario.Scenario.scope)
+    (Duration.to_string r.recovery_time)
+    (Fmt.str "%a" Data_loss.pp_loss r.data_loss.Data_loss.loss)
+    (Money.to_string r.penalties.Cost.total)
+    (Money.to_string r.total_cost)
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>=== %s under %a ===@,%a@,%a@,%a@,%a@,%a@,total cost: %a%a@]"
+    r.design_name Scenario.pp r.scenario Utilization.pp r.utilization
+    Data_loss.pp r.data_loss
+    (Fmt.option Recovery_time.pp)
+    r.recovery Cost.pp_outlays r.outlays Cost.pp_penalties r.penalties Money.pp
+    r.total_cost
+    (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "@,ERROR: %s" e))
+    r.errors

@@ -1,0 +1,37 @@
+open Storage_units
+
+(** Top-level evaluation: design + scenario -> all four output metrics.
+
+    Composes the utilization, data-loss, recovery-time and cost sub-models
+    into the paper's overall framework (§3.3). *)
+
+type report = {
+  design_name : string;
+  scenario : Scenario.t;
+  utilization : Utilization.report;
+  data_loss : Data_loss.t;
+  recovery : Recovery_time.timeline option;
+      (** [None] when no recovery is needed (primary intact) or none is
+          possible (total loss) *)
+  recovery_time : Duration.t;
+      (** zero when no recovery is needed; for a total loss this is zero
+          and the loss penalty carries the damage *)
+  outlays : Cost.outlays;
+  penalties : Cost.penalties;
+  total_cost : Money.t;  (** outlays + penalties *)
+  meets_rto : bool option;  (** [None] when no RTO is specified *)
+  meets_rpo : bool option;
+  errors : string list;
+      (** design-validation failures and unrecoverable-path errors; an
+          empty list means the report is trustworthy *)
+}
+
+val run : Design.t -> Scenario.t -> report
+
+val run_all : Design.t -> Scenario.t list -> report list
+(** Convenience: evaluate the same design under several scenarios (the
+    case-study tables evaluate object / array / site in one sweep). *)
+
+val pp : report Fmt.t
+val pp_summary : report Fmt.t
+(** One-line summary: scenario, RT, DL, penalties, total. *)

@@ -1,0 +1,11 @@
+(** Narrative explanations of evaluation results.
+
+    The paper stresses that its models are "deliberately simple, in order
+    to allow users to reason about them" (§2). This module makes the
+    reasoning explicit: for a design and scenario it walks through which
+    levels survive, what retrieval-point range each guarantees and why the
+    recovery source wins, then narrates the recovery hop by hop with the
+    governing bottleneck of each step. *)
+
+val narrative : Design.t -> Scenario.t -> string
+(** A plain-text explanation of the evaluation, suitable for a terminal. *)

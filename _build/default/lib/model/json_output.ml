@@ -1,0 +1,117 @@
+open Storage_units
+open Storage_device
+open Storage_report
+
+let duration d = Json.Float (Duration.to_seconds d)
+let money m = Json.Float (Money.to_usd m)
+
+let loss = function
+  | Data_loss.Updates d ->
+    Json.Obj [ ("kind", Json.String "updates"); ("seconds", duration d) ]
+  | Data_loss.Entire_object ->
+    Json.Obj [ ("kind", Json.String "entire_object") ]
+
+let utilization (u : Utilization.report) =
+  Json.Obj
+    [
+      ( "devices",
+        Json.List
+          (List.map
+             (fun (d : Utilization.device_report) ->
+               Json.Obj
+                 [
+                   ("name", Json.String d.Utilization.device.Device.name);
+                   ( "bandwidth_fraction",
+                     Json.Float d.Utilization.total.Device.bandwidth_fraction );
+                   ( "capacity_fraction",
+                     Json.Float d.Utilization.total.Device.capacity_fraction );
+                   ( "bandwidth_bytes_per_sec",
+                     Json.Float
+                       (Rate.to_bytes_per_sec
+                          d.Utilization.total.Device.bandwidth_used) );
+                   ( "capacity_bytes",
+                     Json.Float
+                       (Size.to_bytes d.Utilization.total.Device.capacity_used)
+                   );
+                 ])
+             u.Utilization.devices) );
+      ("system_bandwidth_fraction", Json.Float u.Utilization.system_bandwidth_fraction);
+      ("system_capacity_fraction", Json.Float u.Utilization.system_capacity_fraction);
+      ("overcommitted", Json.Bool u.Utilization.overcommitted);
+    ]
+
+let compliance = function
+  | None -> Json.Null
+  | Some b -> Json.Bool b
+
+let report (r : Evaluate.report) =
+  Json.Obj
+    [
+      ("design", Json.String r.Evaluate.design_name);
+      ( "scope",
+        Json.String
+          (Location.scope_name r.Evaluate.scenario.Scenario.scope) );
+      ( "target_age_seconds",
+        duration r.Evaluate.scenario.Scenario.target_age );
+      ( "source_level",
+        match r.Evaluate.data_loss.Data_loss.source_level with
+        | Some j -> Json.Int j
+        | None -> Json.Null );
+      ("recovery_time_seconds", duration r.Evaluate.recovery_time);
+      ("data_loss", loss r.Evaluate.data_loss.Data_loss.loss);
+      ("outlays_usd", money r.Evaluate.outlays.Cost.total);
+      ( "penalties_usd",
+        Json.Obj
+          [
+            ("outage", money r.Evaluate.penalties.Cost.outage);
+            ("loss", money r.Evaluate.penalties.Cost.loss);
+            ("total", money r.Evaluate.penalties.Cost.total);
+          ] );
+      ("total_cost_usd", money r.Evaluate.total_cost);
+      ("meets_rto", compliance r.Evaluate.meets_rto);
+      ("meets_rpo", compliance r.Evaluate.meets_rpo);
+      ("utilization", utilization r.Evaluate.utilization);
+      ( "errors",
+        Json.List (List.map (fun e -> Json.String e) r.Evaluate.errors) );
+    ]
+
+let reports named =
+  Json.Obj (List.map (fun (name, r) -> (name, report r)) named)
+
+let distribution (d : Risk.distribution) =
+  Json.Obj
+    [
+      ("horizon_years", Json.Float d.Risk.horizon_years);
+      ("samples", Json.Int d.Risk.samples);
+      ("mean_usd", money d.Risk.mean);
+      ("stddev_usd", Json.Float d.Risk.stddev);
+      ("p50_usd", money d.Risk.p50);
+      ("p95_usd", money d.Risk.p95);
+      ("p99_usd", money d.Risk.p99);
+      ("max_usd", money d.Risk.max);
+    ]
+
+let risk (r : Risk.t) =
+  Json.Obj
+    [
+      ("design", Json.String r.Risk.design_name);
+      ( "exposures",
+        Json.List
+          (List.map
+             (fun (e : Risk.exposure) ->
+               Json.Obj
+                 [
+                   ( "scope",
+                     Json.String
+                       (Location.scope_name
+                          e.Risk.weighted.Risk.scenario.Scenario.scope) );
+                   ( "frequency_per_year",
+                     Json.Float e.Risk.weighted.Risk.frequency_per_year );
+                   ("per_incident_usd", money e.Risk.per_incident_penalty);
+                   ("expected_annual_usd", money e.Risk.expected_annual_penalty);
+                 ])
+             r.Risk.exposures) );
+      ("annual_outlays_usd", money r.Risk.annual_outlays);
+      ("expected_annual_penalty_usd", money r.Risk.expected_annual_penalty);
+      ("expected_annual_cost_usd", money r.Risk.expected_annual_cost);
+    ]

@@ -1,0 +1,13 @@
+open Storage_report
+
+(** JSON projections of evaluation results, for scripting against the CLI
+    (`ssdep evaluate --json`). Durations are emitted in seconds, sizes in
+    bytes, rates in bytes/second and money in US dollars, each with the
+    unit suffixed to the field name. *)
+
+val report : Evaluate.report -> Json.t
+val reports : (string * Evaluate.report) list -> Json.t
+(** An object mapping scenario names to {!report} values. *)
+
+val risk : Risk.t -> Json.t
+val distribution : Risk.distribution -> Json.t

@@ -1,0 +1,59 @@
+open Storage_units
+
+(** Worst-case recovery time (§3.3.4, Figure 4).
+
+    Recovery proceeds along a path from the source level down to the primary
+    copy. Each hop has a {e parallelizable fixed period} (provisioning the
+    receiving device's spare, which overlaps with upstream work), a
+    {e serialized fixed period} (media transit, tape load and seek), and a
+    {e serialized per-byte period} (data transfer at the minimum of the
+    sender's and receiver's available bandwidth and the link bandwidth).
+
+    Intermediate levels colocated with the primary array (split mirrors,
+    snapshots) are skipped: restoring through them would only add latency
+    (§3.2's recovery-path optimization). Shipment links move media rather
+    than streaming bytes: they contribute transit delay, and the byte
+    transfer happens on the next hop out of the receiving device. *)
+
+type hop = {
+  from_level : int;
+  to_level : int;
+  transit : Duration.t;  (** link delay before data is at the receiver *)
+  par_fix : Duration.t;
+      (** receiver (re)provisioning; proceeds in parallel with the hop's
+          transit, fixed and transfer work (the hop completes at
+          [max(arrival + serFix + serXfer, parFix)] — the parallel reading
+          of the paper's recursion, which its Table 7 mirror rows
+          require) *)
+  ser_fix : Duration.t;  (** source access delay (tape load/seek) *)
+  transfer : Duration.t;  (** serialized per-byte period *)
+  transfer_rate : Rate.t option;
+      (** effective rate ([None] for pure media movement) *)
+  ready_at : Duration.t;  (** cumulative time when the receiver holds the data *)
+}
+
+type timeline = {
+  source_level : int;
+  recovery_size : Size.t;
+  hops : hop list;  (** ordered from the source level towards level 0 *)
+  total : Duration.t;
+}
+
+val recovery_path :
+  Storage_hierarchy.Hierarchy.t -> source:int -> int list
+(** The level indices a recovery from [source] passes through, in order
+    down to level 0, with colocated PiT levels skipped. Used both by
+    {!compute} and by the discrete-event simulator, which executes the
+    same path. *)
+
+val compute :
+  Design.t -> Scenario.t -> source_level:int -> (timeline, string) result
+(** Worst-case recovery timeline when [source_level] serves the recovery.
+    The transferred size is the level's
+    {!Storage_protection.Demands.recovery_size}, or the scenario's object
+    size for [Data_object] rollbacks. Errors when a destroyed device on the
+    path has no applicable spare, or when no bandwidth is available for a
+    transfer. Raises [Invalid_argument] if [source_level] is out of range
+    or 0. *)
+
+val pp : timeline Fmt.t

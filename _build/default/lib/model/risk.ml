@@ -1,0 +1,156 @@
+open Storage_units
+
+type weighted = { scenario : Scenario.t; frequency_per_year : float }
+
+type exposure = {
+  weighted : weighted;
+  report : Evaluate.report;
+  per_incident_penalty : Money.t;
+  expected_annual_penalty : Money.t;
+}
+
+type t = {
+  design_name : string;
+  exposures : exposure list;
+  annual_outlays : Money.t;
+  expected_annual_penalty : Money.t;
+  expected_annual_cost : Money.t;
+}
+
+let assess design weighted_list =
+  if weighted_list = [] then invalid_arg "Risk.assess: no scenarios";
+  List.iter
+    (fun w ->
+      if w.frequency_per_year < 0. || not (Float.is_finite w.frequency_per_year)
+      then invalid_arg "Risk.assess: invalid frequency")
+    weighted_list;
+  let exposures =
+    List.map
+      (fun weighted ->
+        let report = Evaluate.run design weighted.scenario in
+        let per_incident_penalty = report.Evaluate.penalties.Cost.total in
+        {
+          weighted;
+          report;
+          per_incident_penalty;
+          expected_annual_penalty =
+            Money.scale weighted.frequency_per_year per_incident_penalty;
+        })
+      weighted_list
+  in
+  let annual_outlays =
+    (List.hd exposures).report.Evaluate.outlays.Cost.total
+  in
+  let expected_annual_penalty =
+    Money.sum
+      (List.map (fun (e : exposure) -> e.expected_annual_penalty) exposures)
+  in
+  {
+    design_name = design.Design.name;
+    exposures;
+    annual_outlays;
+    expected_annual_penalty;
+    expected_annual_cost = Money.add annual_outlays expected_annual_penalty;
+  }
+
+let compare_designs designs weighted_list =
+  List.map (fun d -> (d, assess d weighted_list)) designs
+  |> List.sort (fun (_, a) (_, b) ->
+         Money.compare a.expected_annual_cost b.expected_annual_cost)
+
+type distribution = {
+  horizon_years : float;
+  samples : int;
+  mean : Money.t;
+  stddev : float;
+  p50 : Money.t;
+  p95 : Money.t;
+  p99 : Money.t;
+  max : Money.t;
+}
+
+(* Knuth's Poisson sampler; our lambdas (frequency x horizon) are small. *)
+let poisson rng ~lambda =
+  if lambda <= 0. then 0
+  else begin
+    let limit = exp (-.lambda) in
+    let rec draw k p =
+      let p = p *. Storage_workload.Prng.float rng in
+      if p > limit then draw (k + 1) p else k
+    in
+    draw 0 1.
+  end
+
+let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) design weighted_list
+    ~horizon_years =
+  if weighted_list = [] then invalid_arg "Risk.monte_carlo: no scenarios";
+  if horizon_years <= 0. then invalid_arg "Risk.monte_carlo: non-positive horizon";
+  if samples <= 0 then invalid_arg "Risk.monte_carlo: non-positive samples";
+  List.iter
+    (fun w ->
+      if w.frequency_per_year < 0. || not (Float.is_finite w.frequency_per_year)
+      then invalid_arg "Risk.monte_carlo: invalid frequency")
+    weighted_list;
+  let rng = Storage_workload.Prng.create ~seed in
+  (* Per-incident penalties are scenario-determined; evaluate once. *)
+  let priced =
+    List.map
+      (fun w ->
+        let report = Evaluate.run design w.scenario in
+        (w.frequency_per_year *. horizon_years,
+         Money.to_usd report.Evaluate.penalties.Cost.total))
+      weighted_list
+  in
+  let outlays =
+    horizon_years *. Money.to_usd (Cost.outlays design).Cost.total
+  in
+  let draws =
+    Array.init samples (fun _ ->
+        List.fold_left
+          (fun acc (lambda, penalty) ->
+            acc +. (float_of_int (poisson rng ~lambda) *. penalty))
+          outlays priced)
+  in
+  Array.sort Float.compare draws;
+  let n = float_of_int samples in
+  let mean = Array.fold_left ( +. ) 0. draws /. n in
+  let variance =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. draws /. n
+  in
+  let percentile p =
+    let idx = int_of_float (p *. (n -. 1.)) in
+    Money.usd draws.(idx)
+  in
+  {
+    horizon_years;
+    samples;
+    mean = Money.usd mean;
+    stddev = sqrt variance;
+    p50 = percentile 0.50;
+    p95 = percentile 0.95;
+    p99 = percentile 0.99;
+    max = Money.usd draws.(samples - 1);
+  }
+
+let pp_distribution ppf d =
+  Fmt.pf ppf
+    "over %.0f yr (%d samples): mean %a, p50 %a, p95 %a, p99 %a, max %a"
+    d.horizon_years d.samples Money.pp d.mean Money.pp d.p50 Money.pp d.p95
+    Money.pp d.p99 Money.pp d.max
+
+let pp ppf t =
+  let pp_exposure ppf e =
+    Fmt.pf ppf "  %-18s %6.3f/yr x %-9s = %s/yr"
+      (Fmt.str "%a" Storage_device.Location.pp_scope
+         e.weighted.scenario.Scenario.scope)
+      e.weighted.frequency_per_year
+      (Money.to_string e.per_incident_penalty)
+      (Money.to_string e.expected_annual_penalty)
+  in
+  Fmt.pf ppf
+    "@[<v>risk assessment for %s:@,%a@,  outlays %a + expected penalties %a \
+     = %a per year@]"
+    t.design_name
+    (Fmt.list ~sep:Fmt.cut pp_exposure)
+    t.exposures Money.pp t.annual_outlays Money.pp t.expected_annual_penalty
+    Money.pp t.expected_annual_cost

@@ -1,0 +1,25 @@
+open Storage_units
+open Storage_device
+
+type t = {
+  scope : Location.scope;
+  target_age : Duration.t;
+  object_size : Size.t option;
+}
+
+let make ~scope ?(target_age = Duration.zero) ?object_size () =
+  (match object_size with
+  | Some _ when not (Location.corrupts_object scope) ->
+    invalid_arg
+      "Scenario.make: object_size only applies to scopes that corrupt the \
+       data object"
+  | Some _ | None -> ());
+  { scope; target_age; object_size }
+
+let now scope = make ~scope ()
+
+let pp ppf t =
+  Fmt.pf ppf "%a, target now - %a%a" Location.pp_scope t.scope Duration.pp
+    t.target_age
+    (Fmt.option (fun ppf s -> Fmt.pf ppf " (object %a)" Size.pp s))
+    t.object_size

@@ -1,0 +1,31 @@
+open Storage_units
+open Storage_device
+
+(** Failure scenarios and recovery goals (§3.1.3).
+
+    A scenario imposes one failure scope and asks for restoration to a target
+    point in time, expressed as an age before the failure ("now" is age
+    zero; a rollback after a corrupting user error asks for an older
+    target). [Data_object] scenarios additionally carry the size of the
+    damaged object, which bounds the recovery transfer. *)
+
+type t = private {
+  scope : Location.scope;
+  target_age : Duration.t;  (** [recTargetTime], as an age before now *)
+  object_size : Size.t option;
+      (** for [Data_object] scopes: how much data must be restored *)
+}
+
+val make :
+  scope:Location.scope ->
+  ?target_age:Duration.t ->
+  ?object_size:Size.t ->
+  unit ->
+  t
+(** [target_age] defaults to zero ("now"). Raises [Invalid_argument] if
+    [object_size] is given for a non-[Data_object] scope. *)
+
+val now : Location.scope -> t
+(** Restoration to the instant before the failure. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,38 @@
+open Storage_device
+
+(** Normal-mode system utilization (§3.3.1; Table 5).
+
+    Each device model computes its local bandwidth and capacity utilization
+    from the demands placed on it; the global model reports the utilization
+    of the most heavily used component and flags overcommitment. *)
+
+type technique_share = {
+  technique : string;
+  demand : Demand.t;
+  bandwidth_fraction : float;
+  capacity_fraction : float;
+}
+
+type device_report = {
+  device : Device.t;
+  shares : technique_share list;  (** per-technique breakdown *)
+  total : Device.utilization;
+}
+
+type link_report = {
+  link : Interconnect.t;
+  demand : Storage_units.Rate.t;
+  fraction : float option;  (** [None] for shipments (no bandwidth bound) *)
+}
+
+type report = {
+  devices : device_report list;
+  links : link_report list;
+  system_bandwidth_fraction : float;
+      (** utilization of the maximally utilized component *)
+  system_capacity_fraction : float;
+  overcommitted : bool;
+}
+
+val compute : Design.t -> report
+val pp : report Fmt.t

@@ -1,0 +1,1 @@
+lib/optimize/candidate.mli: Business Design Device Duration Interconnect Storage_device Storage_model Storage_units Storage_workload Workload

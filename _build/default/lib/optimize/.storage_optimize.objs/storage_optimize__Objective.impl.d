@@ -1,0 +1,1 @@
+lib/optimize/objective.ml: Cost Data_loss Design Duration Evaluate Fmt List Money Option Storage_model Storage_units

@@ -1,0 +1,1 @@
+lib/optimize/objective.mli: Data_loss Design Duration Evaluate Fmt Money Scenario Storage_model Storage_units

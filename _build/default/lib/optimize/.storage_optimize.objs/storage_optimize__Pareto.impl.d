@@ -1,0 +1,1 @@
+lib/optimize/pareto.ml: Data_loss Duration List Money Objective Storage_model Storage_units

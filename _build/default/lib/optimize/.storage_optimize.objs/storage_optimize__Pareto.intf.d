@@ -1,0 +1,1 @@
+lib/optimize/pareto.mli: Objective

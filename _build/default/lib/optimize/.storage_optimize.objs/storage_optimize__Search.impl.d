@@ -1,0 +1,1 @@
+lib/optimize/search.ml: Fmt List Money Objective Pareto Storage_units

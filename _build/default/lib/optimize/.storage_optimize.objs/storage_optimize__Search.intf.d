@@ -1,0 +1,1 @@
+lib/optimize/search.mli: Design Fmt Objective Scenario Storage_model

@@ -1,0 +1,1 @@
+lib/optimize/sensitivity.ml: Cost Data_loss Duration Evaluate Fmt List Money Option Storage_model Storage_units

@@ -1,0 +1,1 @@
+lib/optimize/sensitivity.mli: Data_loss Design Duration Fmt Money Scenario Storage_model Storage_units

@@ -1,0 +1,181 @@
+open Storage_units
+open Storage_workload
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+open Storage_model
+
+type kit = {
+  workload : Workload.t;
+  business : Business.t;
+  primary : Device.t;
+  tape_library : Device.t;
+  vault : Device.t;
+  remote_array : Device.t;
+  san : Interconnect.t;
+  shipment : Interconnect.t;
+  wan : int -> Interconnect.t;
+}
+
+type space = {
+  pit_techniques : [ `Split_mirror | `Snapshot ] list;
+  pit_accumulations : Duration.t list;
+  pit_retentions : int list;
+  backup_accumulations : Duration.t list;
+  backup_retention_horizon : Duration.t;
+  vault_accumulations : Duration.t list;
+  vault_retention_horizon : Duration.t;
+  mirror_links : int list;
+}
+
+let default_space =
+  {
+    pit_techniques = [ `Split_mirror; `Snapshot ];
+    pit_accumulations = [ Duration.hours 6.; Duration.hours 12.; Duration.hours 24. ];
+    pit_retentions = [ 2; 4 ];
+    backup_accumulations =
+      [ Duration.hours 24.; Duration.hours 48.; Duration.weeks 1. ];
+    backup_retention_horizon = Duration.weeks 4.;
+    vault_accumulations = [ Duration.weeks 1.; Duration.weeks 4. ];
+    vault_retention_horizon = Duration.years 3.;
+    mirror_links = [ 1; 2; 4; 10 ];
+  }
+
+let retention_for ~horizon ~cycle =
+  max 1 (int_of_float (ceil (Duration.ratio horizon cycle)))
+
+let label_duration d =
+  let h = Duration.to_hours d in
+  if Float.rem h 168. = 0. then Printf.sprintf "%.0fwk" (h /. 168.)
+  else if Float.rem h 24. = 0. then Printf.sprintf "%.0fd" (h /. 24.)
+  else if h >= 1. then Printf.sprintf "%.0fh" h
+  else Printf.sprintf "%.0fmin" (Duration.to_minutes d)
+
+let tape_designs kit space =
+  let designs = ref [] in
+  List.iter
+    (fun pit_kind ->
+      List.iter
+        (fun pit_acc ->
+          List.iter
+            (fun pit_ret ->
+              List.iter
+                (fun backup_acc ->
+                  List.iter
+                    (fun vault_acc ->
+                      let pit_schedule =
+                        Schedule.simple ~acc:pit_acc ~retention_count:pit_ret ()
+                      in
+                      let pit_technique =
+                        match pit_kind with
+                        | `Split_mirror -> Technique.Split_mirror pit_schedule
+                        | `Snapshot -> Technique.Virtual_snapshot pit_schedule
+                      in
+                      let backup_prop =
+                        Duration.min (Duration.scale 0.5 backup_acc)
+                          (Duration.hours 48.)
+                      in
+                      let backup_schedule =
+                        Schedule.simple ~acc:backup_acc ~prop:backup_prop
+                          ~hold:(Duration.hours 1.)
+                          ~retention_count:
+                            (retention_for
+                               ~horizon:space.backup_retention_horizon
+                               ~cycle:backup_acc)
+                          ()
+                      in
+                      let vault_schedule =
+                        Schedule.simple ~acc:vault_acc
+                          ~prop:(Duration.hours 24.)
+                          ~hold:(Duration.hours 12.)
+                          ~retention_count:
+                            (retention_for
+                               ~horizon:space.vault_retention_horizon
+                               ~cycle:vault_acc)
+                          ()
+                      in
+                      let name =
+                        Printf.sprintf "%s/%s x%d, backup/%s, vault/%s"
+                          (match pit_kind with
+                          | `Split_mirror -> "mirror"
+                          | `Snapshot -> "snap")
+                          (label_duration pit_acc) pit_ret
+                          (label_duration backup_acc)
+                          (label_duration vault_acc)
+                      in
+                      match
+                        Hierarchy.make
+                          [
+                            {
+                              Hierarchy.technique =
+                                Technique.Primary_copy { raid = Raid.Raid1 };
+                              device = kit.primary;
+                              link = None;
+                            };
+                            {
+                              technique = pit_technique;
+                              device = kit.primary;
+                              link = None;
+                            };
+                            {
+                              technique = Technique.Backup backup_schedule;
+                              device = kit.tape_library;
+                              link = Some kit.san;
+                            };
+                            {
+                              technique = Technique.Vaulting vault_schedule;
+                              device = kit.vault;
+                              link = Some kit.shipment;
+                            };
+                          ]
+                      with
+                      | Error _ -> ()
+                      | Ok hierarchy ->
+                        let design =
+                          Design.make ~name ~workload:kit.workload ~hierarchy
+                            ~business:kit.business ()
+                        in
+                        if Design.validate design = Ok () then
+                          designs := design :: !designs)
+                    space.vault_accumulations)
+                space.backup_accumulations)
+            space.pit_retentions)
+        space.pit_accumulations)
+    space.pit_techniques;
+  List.rev !designs
+
+let mirror_designs kit space =
+  List.filter_map
+    (fun links ->
+      let schedule =
+        Schedule.simple ~acc:(Duration.minutes 1.) ~prop:(Duration.minutes 1.)
+          ~retention_count:1 ()
+      in
+      match
+        Hierarchy.make
+          [
+            {
+              Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+              device = kit.primary;
+              link = None;
+            };
+            {
+              technique =
+                Technique.Remote_mirror
+                  { mode = Technique.Asynchronous_batch; schedule };
+              device = kit.remote_array;
+              link = Some (kit.wan links);
+            };
+          ]
+      with
+      | Error _ -> None
+      | Ok hierarchy ->
+        let design =
+          Design.make
+            ~name:(Printf.sprintf "asyncB mirror x%d" links)
+            ~workload:kit.workload ~hierarchy ~business:kit.business ()
+        in
+        if Design.validate design = Ok () then Some design else None)
+    space.mirror_links
+
+let enumerate kit space = tape_designs kit space @ mirror_designs kit space

@@ -1,0 +1,47 @@
+open Storage_units
+open Storage_workload
+open Storage_device
+open Storage_model
+
+(** Design-space enumeration for automated dependability design.
+
+    The paper motivates its framework as "the inner-most loop of an
+    automated optimization loop" [13]; this module provides the loop body's
+    input: a grid of candidate designs assembled from a hardware kit and a
+    policy space. Structurally invalid combinations (hierarchy convention
+    violations, overcommitted devices) are filtered out. *)
+
+(** The hardware available to build designs from. *)
+type kit = {
+  workload : Workload.t;
+  business : Business.t;
+  primary : Device.t;
+  tape_library : Device.t;
+  vault : Device.t;
+  remote_array : Device.t;
+  san : Interconnect.t;
+  shipment : Interconnect.t;
+  wan : int -> Interconnect.t;  (** [wan links] builds a WAN bundle *)
+}
+
+(** Which policy dimensions to sweep. *)
+type space = {
+  pit_techniques : [ `Split_mirror | `Snapshot ] list;
+  pit_accumulations : Duration.t list;
+  pit_retentions : int list;
+  backup_accumulations : Duration.t list;
+  backup_retention_horizon : Duration.t;
+      (** backup retention counts are derived to cover this horizon *)
+  vault_accumulations : Duration.t list;
+  vault_retention_horizon : Duration.t;
+  mirror_links : int list;
+      (** asynchronous-batch mirror alternatives; empty for none *)
+}
+
+val default_space : space
+(** A moderate grid (~100 designs) around the paper's case study. *)
+
+val enumerate : kit -> space -> Design.t list
+(** All structurally valid candidate designs: the tape-based family (PiT x
+    backup x vault policies) plus the mirror family (one per link count).
+    Design names encode their parameters. *)

@@ -1,0 +1,16 @@
+open Storage_units
+open Storage_model
+
+let dominates (a : Objective.summary) (b : Objective.summary) =
+  let cost = Money.compare a.Objective.outlays b.Objective.outlays in
+  let rt =
+    Duration.compare a.Objective.worst_recovery_time
+      b.Objective.worst_recovery_time
+  in
+  let dl = Data_loss.compare_loss a.Objective.worst_loss b.Objective.worst_loss in
+  cost <= 0 && rt <= 0 && dl <= 0 && (cost < 0 || rt < 0 || dl < 0)
+
+let frontier summaries =
+  List.filter
+    (fun s -> not (List.exists (fun other -> dominates other s) summaries))
+    summaries

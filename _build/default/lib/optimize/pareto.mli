@@ -1,0 +1,14 @@
+(** Pareto frontiers over design summaries.
+
+    A design dominates another when it is no worse on every objective
+    (outlays, worst recovery time, worst data loss) and strictly better on
+    at least one. The frontier is the set of non-dominated designs — the
+    menu a storage administrator actually chooses from. *)
+
+val dominates : Objective.summary -> Objective.summary -> bool
+(** [dominates a b] per the (outlays, worst RT, worst DL) objectives.
+    [Entire_object] losses compare worse than any finite loss. *)
+
+val frontier : Objective.summary list -> Objective.summary list
+(** Non-dominated subset, preserving input order. O(n^2); candidate sets
+    are design grids of at most a few thousand. *)

@@ -1,0 +1,37 @@
+open Storage_units
+
+type result = {
+  evaluated : Objective.summary list;
+  feasible : Objective.summary list;
+  frontier : Objective.summary list;
+  best : Objective.summary option;
+}
+
+let run candidates scenarios =
+  if candidates = [] then invalid_arg "Search.run: no candidate designs";
+  if scenarios = [] then invalid_arg "Search.run: no scenarios";
+  let evaluated =
+    List.map (fun d -> Objective.summarize d scenarios) candidates
+  in
+  let feasible =
+    List.filter (fun s -> s.Objective.feasible) evaluated
+    |> List.sort (fun a b ->
+           Money.compare a.Objective.worst_total_cost
+             b.Objective.worst_total_cost)
+  in
+  {
+    evaluated;
+    feasible;
+    frontier = Pareto.frontier evaluated;
+    best = (match feasible with [] -> None | best :: _ -> Some best);
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%d candidates, %d feasible, %d on the Pareto frontier@,%a%a@]"
+    (List.length r.evaluated) (List.length r.feasible)
+    (List.length r.frontier)
+    (Fmt.list ~sep:Fmt.cut (fun ppf s -> Fmt.pf ppf "  %a" Objective.pp s))
+    r.frontier
+    (Fmt.option (fun ppf s ->
+         Fmt.pf ppf "@,best: %a" Objective.pp s))
+    r.best

@@ -1,0 +1,21 @@
+open Storage_model
+
+(** The outer optimization loop: evaluate every candidate, keep the
+    feasible ones, rank by worst-case total cost, and expose the Pareto
+    frontier for human inspection. *)
+
+type result = {
+  evaluated : Objective.summary list;  (** every candidate, input order *)
+  feasible : Objective.summary list;
+      (** candidates meeting RTO/RPO in all scenarios, cheapest first *)
+  frontier : Objective.summary list;
+      (** Pareto-optimal candidates over (outlays, worst RT, worst DL) *)
+  best : Objective.summary option;
+      (** cheapest feasible design by worst-case total cost *)
+}
+
+val run : Design.t list -> Scenario.t list -> result
+(** Raises [Invalid_argument] on empty candidates or scenarios. *)
+
+val pp : result Fmt.t
+(** Prints the frontier and the winner. *)

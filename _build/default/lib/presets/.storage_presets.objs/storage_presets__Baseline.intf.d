@@ -1,0 +1,1 @@
+lib/presets/baseline.mli: Business Design Device Interconnect Location Scenario Storage_device Storage_model Storage_protection

@@ -1,0 +1,1 @@
+lib/presets/cello.ml: Batch_curve Duration Rate Size Storage_units Storage_workload Trace Workload

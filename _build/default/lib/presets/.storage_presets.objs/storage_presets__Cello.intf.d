@@ -1,0 +1,1 @@
+lib/presets/cello.mli: Duration Storage_units Storage_workload Trace Workload

@@ -1,0 +1,1 @@
+lib/presets/paper_tables.mli:

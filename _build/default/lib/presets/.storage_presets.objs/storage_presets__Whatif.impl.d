@@ -1,0 +1,1 @@
+lib/presets/whatif.ml: Baseline Cello Design Duration Hierarchy Printf Raid Schedule Storage_hierarchy Storage_model Storage_protection Storage_units Technique

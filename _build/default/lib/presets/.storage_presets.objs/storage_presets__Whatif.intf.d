@@ -1,0 +1,1 @@
+lib/presets/whatif.mli: Design Storage_model

@@ -1,0 +1,125 @@
+open Storage_units
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+open Storage_model
+
+let primary_site =
+  Location.make ~building:"bldg-1" ~site:"primary" ~region:"west"
+
+let vault_site = Location.make ~building:"vault" ~site:"offsite-vault" ~region:"east"
+
+let recovery_site =
+  Location.make ~building:"bldg-r" ~site:"recovery" ~region:"east"
+
+let shared_recovery_spare =
+  Spare.Shared { provisioning_time = Duration.hours 9.; discount = 0.2 }
+
+let hot_spare = Spare.Dedicated { provisioning_time = Duration.hours 0.02 }
+
+(* Mid-range array (HP EVA class): 256 x 73 GB disks, 512 MB/s enclosure. *)
+let array_at name location =
+  Device.make ~name ~location ~max_capacity_slots:256
+    ~slot_capacity:(Size.gib 73.) ~max_bandwidth_slots:256
+    ~slot_bandwidth:(Rate.mib_per_sec 25.)
+    ~enclosure_bandwidth:(Rate.mib_per_sec 512.)
+    ~cost:(Cost_model.make ~fixed:(Money.usd 123297.) ~per_gib:17.2 ())
+    ~spare:hot_spare ~remote_spare:shared_recovery_spare ()
+
+let disk_array = array_at "disk-array" primary_site
+let remote_array = array_at "remote-array" recovery_site
+
+(* LTO library (HP ESL9595 class): 500 x 400 GB cartridges, 16 x 60 MB/s
+   drives, 240 MB/s aggregate, 0.01 hr load-and-seek. *)
+let tape_library =
+  Device.make ~name:"tape-library" ~location:primary_site
+    ~max_capacity_slots:500 ~slot_capacity:(Size.gib 400.)
+    ~max_bandwidth_slots:16 ~slot_bandwidth:(Rate.mib_per_sec 60.)
+    ~enclosure_bandwidth:(Rate.mib_per_sec 240.)
+    ~access_delay:(Duration.hours 0.01)
+    ~cost:
+      (Cost_model.make ~fixed:(Money.usd 98895.) ~per_gib:0.4
+         ~per_mib_per_sec:108.6 ())
+    ~spare:hot_spare ~remote_spare:shared_recovery_spare ()
+
+let vault =
+  Device.make ~name:"vault" ~location:vault_site ~max_capacity_slots:5000
+    ~slot_capacity:(Size.gib 400.)
+    ~cost:(Cost_model.make ~fixed:(Money.usd 25000.) ~per_gib:0.4 ())
+    ()
+
+let san =
+  Interconnect.make ~name:"san"
+    ~transport:
+      (Interconnect.Network
+         { link_bandwidth = Rate.mib_per_sec 256.; links = 8 })
+    ()
+
+let air_shipment =
+  Interconnect.make ~name:"air-shipment" ~transport:Interconnect.Shipment
+    ~delay:(Duration.hours 24.)
+    ~cost:(Cost_model.make ~per_shipment:50. ())
+    ()
+
+let oc3 ~links =
+  Interconnect.make ~name:(Printf.sprintf "oc3-x%d" links)
+    ~transport:
+      (Interconnect.Network
+         { link_bandwidth = Rate.megabits_per_sec 155.; links })
+    ~cost:(Cost_model.make ~per_mib_per_sec:23535. ())
+    ()
+
+let business =
+  Business.make
+    ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+    ~loss_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+    ()
+
+(* Table 3: the baseline data protection technique parameters. *)
+let split_mirror_schedule =
+  Schedule.simple ~acc:(Duration.hours 12.) ~retention_count:4 ()
+
+let backup_schedule =
+  Schedule.simple ~acc:(Duration.weeks 1.) ~prop:(Duration.hours 48.)
+    ~hold:(Duration.hours 1.) ~retention_count:4 ()
+
+let vault_schedule =
+  Schedule.simple ~acc:(Duration.weeks 4.) ~prop:(Duration.hours 24.)
+    ~hold:(Duration.add (Duration.weeks 4.) (Duration.hours 12.))
+    ~retention_count:39 ()
+
+let hierarchy =
+  Hierarchy.make_exn
+    [
+      {
+        Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+        device = disk_array;
+        link = None;
+      };
+      {
+        technique = Technique.Split_mirror split_mirror_schedule;
+        device = disk_array;
+        link = None;
+      };
+      {
+        technique = Technique.Backup backup_schedule;
+        device = tape_library;
+        link = Some san;
+      };
+      {
+        technique = Technique.Vaulting vault_schedule;
+        device = vault;
+        link = Some air_shipment;
+      };
+    ]
+
+let design =
+  Design.make ~name:"baseline" ~workload:Cello.workload ~hierarchy ~business ()
+
+let scenario_object =
+  Scenario.make ~scope:Location.Data_object ~target_age:(Duration.hours 24.)
+    ~object_size:(Size.mib 1.) ()
+
+let scenario_array = Scenario.now (Location.Device "disk-array")
+let scenario_site = Scenario.now (Location.Site "primary")
+let scenarios = [ scenario_object; scenario_array; scenario_site ]

@@ -1,0 +1,57 @@
+open Storage_device
+open Storage_model
+
+(** The case-study baseline storage system (§4, Figure 1, Tables 3-4).
+
+    A primary mid-range disk array (RAID-1, HP EVA class) holds the cello
+    workload and four split mirrors; a local LTO tape library takes weekly
+    full backups over the SAN; expired tapes are air-shipped monthly to a
+    remote vault. Hot dedicated spares cover device failures at the primary
+    site; a shared recovery facility (9 h provisioning, 20% of dedicated
+    cost) covers site disasters. *)
+
+val primary_site : Location.t
+val vault_site : Location.t
+val recovery_site : Location.t
+
+val disk_array : Device.t
+val tape_library : Device.t
+val vault : Device.t
+val remote_array : Device.t
+(** A second EVA-class array at the recovery site (used by the mirroring
+    what-if designs). *)
+
+val san : Interconnect.t
+val air_shipment : Interconnect.t
+
+val oc3 : links:int -> Interconnect.t
+(** [links] OC-3 (155 Mb/s) leased lines to the recovery site, priced at
+    the paper's [b * 23535] per MB/s per year. *)
+
+val business : Business.t
+(** $50,000/hr for both unavailability and recent data loss. *)
+
+val split_mirror_schedule : Storage_protection.Schedule.t
+(** Table 3: mirrors split every 12 hr, four retained (two days). *)
+
+val backup_schedule : Storage_protection.Schedule.t
+(** Table 3: weekly fulls, 48 hr propagation, 1 hr hold, four retained. *)
+
+val vault_schedule : Storage_protection.Schedule.t
+(** Table 3: four-weekly shipments, 24 hr transit, 4 wk + 12 hr hold,
+    39 retained (three years). *)
+
+val design : Design.t
+(** The baseline composition: primary + split mirror + backup + vaulting. *)
+
+val scenario_object : Scenario.t
+(** 1 MB object corrupted by user error; roll back to 24 hours ago. *)
+
+val scenario_array : Scenario.t
+(** Primary array failure; restore to "now". *)
+
+val scenario_site : Scenario.t
+(** Primary site disaster; restore to "now". *)
+
+val scenarios : Scenario.t list
+(** The three scenarios above, in Table 6 order. *)

@@ -1,0 +1,38 @@
+open Storage_units
+open Storage_workload
+
+let batch_windows =
+  [
+    Duration.minutes 1.;
+    Duration.hours 12.;
+    Duration.hours 24.;
+    Duration.hours 48.;
+    Duration.weeks 1.;
+  ]
+
+let workload =
+  let curve =
+    Batch_curve.of_samples
+      [
+        (Duration.minutes 1., Rate.kib_per_sec 727.);
+        (Duration.hours 12., Rate.kib_per_sec 350.);
+        (Duration.hours 24., Rate.kib_per_sec 317.);
+        (Duration.hours 48., Rate.kib_per_sec 317.);
+        (Duration.weeks 1., Rate.kib_per_sec 317.);
+      ]
+  in
+  Workload.make ~name:"cello" ~data_capacity:(Size.gib 1360.)
+    ~avg_access_rate:(Rate.kib_per_sec 1028.)
+    ~avg_update_rate:(Rate.kib_per_sec 799.) ~burst_multiplier:10.
+    ~batch_curve:curve
+
+let trace_profile =
+  {
+    Trace.block_size = Size.kib 256.;
+    block_count = 16384 (* 4 GiB object: full cello is too large to replay *);
+    mean_update_rate = Rate.kib_per_sec 799.;
+    zipf_exponent = 0.95;
+    burst_multiplier = 10.;
+    burst_fraction = 0.05;
+    mean_phase_length = Duration.minutes 2.;
+  }

@@ -1,0 +1,20 @@
+open Storage_units
+open Storage_workload
+
+(** The [cello] workgroup file server workload (Table 2).
+
+    Measured parameters of HP Labs' cello server as published in the paper:
+    1360 GB of data, 1028 KB/s access, 799 KB/s updates, 10x bursts, and a
+    unique-update curve from 727 KB/s at one minute down to 317 KB/s at one
+    week. *)
+
+val workload : Workload.t
+
+val batch_windows : Duration.t list
+(** The five characterization windows of Table 2:
+    1 min, 12 hr, 24 hr, 48 hr, 1 wk. *)
+
+val trace_profile : Trace.profile
+(** A generator profile tuned to produce a cello-like synthetic trace
+    (used by the Table 2 reproduction pipeline; see DESIGN.md on the
+    trace substitution). *)

@@ -1,0 +1,34 @@
+open Storage_model
+
+(** The what-if designs of Table 7 (§4.2).
+
+    Each design modifies the baseline along one axis: vaulting frequency,
+    backup policy, PiT technique, or replacing tape protection with
+    wide-area asynchronous batch mirroring. *)
+
+val weekly_vault : Design.t
+(** Vault accumulation shortened to one week (12 hr hold, 24 hr
+    propagation); retention extended to keep the three-year horizon. *)
+
+val weekly_vault_full_incremental : Design.t
+(** Weekly fulls (48 hr acc/prop) plus five daily cumulative incrementals
+    (24 hr acc, 12 hr prop), weekly vaulting. *)
+
+val weekly_vault_daily_full : Design.t
+(** Daily full backups (24 hr acc, 12 hr prop), weekly vaulting. *)
+
+val weekly_vault_daily_full_snapshot : Design.t
+(** As above, with virtual snapshots in place of split mirrors. *)
+
+val async_mirror : links:int -> Design.t
+(** Asynchronous batch mirroring (1 min batches) to a remote array over
+    [links] OC-3 lines, replacing split mirrors, backup and vaulting. *)
+
+val erasure_coded : fragments:int -> required:int -> links:int -> Design.t
+(** An OceanStore-style extension design the paper never evaluated: hourly
+    batches erasure-coded [required]-of-[fragments] onto the remote
+    fragment store, retaining a day of hourly versions — minute-scale
+    archival bandwidth with rollback depth a plain mirror lacks. *)
+
+val all : (string * Design.t) list
+(** The seven Table 7 rows in order, baseline first. *)

@@ -1,0 +1,1 @@
+lib/protection/demands.ml: Demand Duration List Raid Rate Schedule Size Storage_device Storage_units Storage_workload Technique Workload

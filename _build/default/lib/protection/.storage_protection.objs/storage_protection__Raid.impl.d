@@ -1,0 +1,1 @@
+lib/protection/raid.ml: Fmt Printf

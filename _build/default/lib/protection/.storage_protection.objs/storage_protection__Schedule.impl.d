@@ -1,0 +1,1 @@
+lib/protection/schedule.ml: Duration Fmt Storage_units

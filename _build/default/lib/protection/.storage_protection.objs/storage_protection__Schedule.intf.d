@@ -1,0 +1,1 @@
+lib/protection/schedule.mli: Duration Fmt Storage_units

@@ -1,0 +1,1 @@
+lib/protection/technique.ml: Fmt Raid Schedule

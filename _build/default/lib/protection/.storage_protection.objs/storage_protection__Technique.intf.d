@@ -1,0 +1,1 @@
+lib/protection/technique.mli: Fmt Raid Schedule

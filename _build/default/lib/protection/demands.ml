@@ -1,0 +1,212 @@
+open Storage_units
+open Storage_workload
+open Storage_device
+
+type placement = {
+  on_source : Demand.t;
+  on_target : Demand.t;
+  on_link : Rate.t;
+}
+
+let nothing =
+  { on_source = Demand.zero; on_target = Demand.zero; on_link = Rate.zero }
+
+let full_size (w : Workload.t) = w.data_capacity
+
+let incremental_size (w : Workload.t) (s : Schedule.t) ~index =
+  match s.Schedule.secondary with
+  | None -> invalid_arg "Demands.incremental_size: no secondary representation"
+  | Some (rep, win) ->
+    if index < 1 || index > s.Schedule.cycle_count then
+      invalid_arg "Demands.incremental_size: index out of cycle";
+    let span =
+      match rep with
+      | Schedule.Cumulative ->
+        Duration.scale (float_of_int index) win.Schedule.accumulation
+      | Schedule.Differential -> win.Schedule.accumulation
+      | Schedule.Full -> assert false (* rejected by Schedule.make *)
+    in
+    Workload.unique_bytes w span
+
+let largest_incremental (w : Workload.t) (s : Schedule.t) =
+  match s.Schedule.secondary with
+  | None -> Size.zero
+  | Some _ -> incremental_size w s ~index:s.Schedule.cycle_count
+
+let cycle_capacity (w : Workload.t) (s : Schedule.t) =
+  let incrementals =
+    match s.Schedule.secondary with
+    | None -> Size.zero
+    | Some _ ->
+      List.init s.Schedule.cycle_count (fun i ->
+          incremental_size w s ~index:(i + 1))
+      |> Size.sum
+  in
+  Size.add (full_size w) incrementals
+
+let mirror_link_rate (w : Workload.t) mode (s : Schedule.t) =
+  match (mode : Technique.mirror_mode) with
+  | Synchronous | Asynchronous -> w.avg_update_rate
+  | Asynchronous_batch ->
+    Workload.batch_update_rate w s.Schedule.full.Schedule.accumulation
+
+let of_technique ~workload ?(host_raid = Raid.Raid0) ?upstream technique =
+  let w : Workload.t = workload in
+  let raid = Raid.capacity_factor host_raid in
+  match (technique : Technique.t) with
+  | Primary_copy { raid = r } ->
+    let raid = Raid.capacity_factor r in
+    {
+      nothing with
+      on_target =
+        Demand.make ~read_bw:w.avg_access_rate
+          ~capacity:(Size.scale raid w.data_capacity)
+          ();
+    }
+  | Split_mirror s ->
+    (* retCnt accessible mirrors plus one being resilvered; resilvering must
+       reapply the unique updates of the (retCnt + 1) windows since that
+       mirror was last split, within one accumulation window. *)
+    let copies = float_of_int (s.Schedule.retention_count + 1) in
+    let span = Duration.scale copies (Schedule.cycle_period s) in
+    let volume = Workload.unique_bytes w span in
+    let resilver_rate =
+      Rate.of_size_per volume s.Schedule.full.Schedule.accumulation
+    in
+    {
+      nothing with
+      on_target =
+        Demand.make ~read_bw:resilver_rate ~write_bw:resilver_rate
+          ~capacity:(Size.scale (copies *. raid) w.data_capacity)
+          ();
+    }
+  | Virtual_snapshot s ->
+    (* Update-in-place copy-on-write: one extra read and one extra write per
+       foreground write; capacity for the unique updates of each retained
+       snapshot's window. *)
+    let per_snapshot =
+      Workload.unique_bytes w s.Schedule.full.Schedule.accumulation
+    in
+    let cap =
+      Size.scale
+        (float_of_int s.Schedule.retention_count *. raid)
+        per_snapshot
+    in
+    {
+      nothing with
+      on_target =
+        Demand.make ~read_bw:w.avg_update_rate ~write_bw:w.avg_update_rate
+          ~capacity:cap ();
+    }
+  | Remote_mirror { mode; schedule } ->
+    let rate = mirror_link_rate w mode schedule in
+    {
+      (* No demand on the source array's client interface: arrays expose a
+         separate replication interface (§3.2.3). *)
+      on_source = Demand.zero;
+      on_target =
+        Demand.make ~write_bw:rate
+          ~capacity:(Size.scale raid w.data_capacity)
+          ();
+      on_link = rate;
+    }
+  | Backup s ->
+    let full_rate =
+      Rate.of_size_per (full_size w) s.Schedule.full.Schedule.propagation
+    in
+    let incr_rate =
+      match s.Schedule.secondary with
+      | None -> Rate.zero
+      | Some (_, win) ->
+        Rate.of_size_per (largest_incremental w s) win.Schedule.propagation
+    in
+    let bw = Rate.max full_rate incr_rate in
+    let cap =
+      Size.add
+        (Size.scale (float_of_int s.Schedule.retention_count)
+           (cycle_capacity w s))
+        (full_size w)
+    in
+    {
+      on_source = Demand.make ~read_bw:bw ();
+      on_target = Demand.make ~write_bw:bw ~capacity:cap ();
+      on_link = bw;
+    }
+  | Vaulting s ->
+    let cap =
+      Size.scale (float_of_int s.Schedule.retention_count) (full_size w)
+    in
+    (* When tapes must leave before their backup retention expires, the
+       backup device makes an extra media copy each vault window. *)
+    let extra_copy =
+      match upstream with
+      | None -> false
+      | Some up ->
+        Duration.compare s.Schedule.full.Schedule.hold
+          (Schedule.retention_window up)
+        < 0
+    in
+    let on_source =
+      if extra_copy then begin
+        let rate =
+          Rate.of_size_per (full_size w) s.Schedule.full.Schedule.accumulation
+        in
+        Demand.make ~read_bw:rate ~write_bw:rate ()
+      end
+      else Demand.zero
+    in
+    { nothing with on_source; on_target = Demand.make ~capacity:cap () }
+  | Erasure_coded { schedule = s; _ } as tech ->
+    (* Each window's unique updates are encoded and spread across the
+       fragment store; storage and propagation carry the n/m expansion.
+       The store keeps an up-to-date coded copy plus the retained
+       historical windows. *)
+    let expand = Technique.expansion_factor tech in
+    let per_window =
+      Workload.unique_bytes w s.Schedule.full.Schedule.accumulation
+    in
+    let rate =
+      Rate.scale expand
+        (Rate.of_size_per per_window s.Schedule.full.Schedule.accumulation)
+    in
+    let cap =
+      Size.scale expand
+        (Size.add w.data_capacity
+           (Size.scale
+              (float_of_int (s.Schedule.retention_count - 1))
+              per_window))
+    in
+    {
+      on_source = Demand.zero;
+      on_target = Demand.make ~write_bw:rate ~capacity:cap ();
+      on_link = rate;
+    }
+
+let required_link_bandwidth ~workload technique =
+  let w : Workload.t = workload in
+  match (technique : Technique.t) with
+  | Remote_mirror { mode = Synchronous; _ } -> Workload.peak_update_rate w
+  | Remote_mirror { mode = Asynchronous; _ } -> w.avg_update_rate
+  | Remote_mirror { mode = Asynchronous_batch; schedule } ->
+    mirror_link_rate w Asynchronous_batch schedule
+  | Erasure_coded { schedule; _ } as tech ->
+    Rate.scale
+      (Technique.expansion_factor tech)
+      (mirror_link_rate w Asynchronous_batch schedule)
+  | Primary_copy _ | Split_mirror _ | Virtual_snapshot _ | Backup _
+  | Vaulting _ ->
+    Rate.zero
+
+let recovery_size ~workload technique =
+  let w : Workload.t = workload in
+  match (technique : Technique.t) with
+  | Backup s -> Size.add (full_size w) (largest_incremental w s)
+  | Erasure_coded _ ->
+    (* Reconstruction fetches m fragments totalling the logical size. *)
+    full_size w
+  | Primary_copy _ | Split_mirror _ | Virtual_snapshot _ | Remote_mirror _
+  | Vaulting _ ->
+    full_size w
+
+let shipments_per_year (s : Schedule.t) =
+  Duration.ratio (Duration.years 1.) s.Schedule.full.Schedule.accumulation

@@ -1,0 +1,79 @@
+open Storage_units
+open Storage_workload
+open Storage_device
+
+(** Normal-mode workload demands of each data protection technique
+    (§3.2.3).
+
+    Each technique converts its policy parameters into bandwidth and
+    capacity demands on the devices it touches: the {e source} device it
+    reads RPs from (the level above), the {e target} device where its RPs
+    live, and the interconnect in between. The compositional model maps
+    these onto concrete devices and sums them. *)
+
+type placement = {
+  on_source : Demand.t;
+  on_target : Demand.t;
+  on_link : Rate.t;  (** sustained interconnect bandwidth demand *)
+}
+
+val of_technique :
+  workload:Workload.t ->
+  ?host_raid:Raid.t ->
+  ?upstream:Schedule.t ->
+  Technique.t ->
+  placement
+(** Demands for one technique.
+
+    [host_raid] is the RAID organization of the device hosting this level's
+    copies (capacity is charged in raw bytes; default {!Raid.Raid0}).
+    [upstream] is the schedule of the level RPs are received from; it is
+    needed only by [Vaulting], which must make an extra media copy when its
+    hold window is shorter than the upstream retention window (§3.2.3).
+
+    Demand summary per technique:
+    - [Primary_copy]: client access rate and [raid * dataCap] on the array.
+    - [Split_mirror]: [(retCnt + 1) * raid * dataCap] capacity; resilvering
+      reads and writes the unique updates of [(retCnt + 1)] windows each
+      accumulation window.
+    - [Virtual_snapshot]: copy-on-write read+write at the raw update rate;
+      capacity for [retCnt] windows of unique updates.
+    - [Remote_mirror]: link (and destination-array write) bandwidth at the
+      average update rate (sync/async) or the batched unique rate
+      (async-batch); a full copy of capacity on the destination.
+    - [Backup]: read on the source and write on the target at the larger of
+      the full-backup and biggest-incremental transfer rates; target
+      capacity for [retCnt] cycles plus one extra full.
+    - [Vaulting]: [retCnt] fulls of capacity at the vault; no bandwidth
+      unless the hold window forces an extra copy at the source. *)
+
+val required_link_bandwidth : workload:Workload.t -> Technique.t -> Rate.t
+(** Minimum interconnect bandwidth for correct operation: the {e peak}
+    update rate for a synchronous mirror (each write waits for the remote
+    copy), the average rate for asynchronous modes, zero for non-mirror
+    techniques. The design validator compares this against provisioned link
+    bandwidth. *)
+
+val full_size : Workload.t -> Size.t
+(** Size of a full RP: the data capacity. *)
+
+val incremental_size : Workload.t -> Schedule.t -> index:int -> Size.t
+(** Size of the [index]-th (1-based) incremental of a cycle: cumulative
+    incrementals cover [index] secondary windows since the last full;
+    differentials cover one window. Raises [Invalid_argument] when the
+    schedule has no secondary representation or [index] is out of
+    [1..cycleCnt]. *)
+
+val largest_incremental : Workload.t -> Schedule.t -> Size.t
+(** Zero when the schedule has no secondary representation. *)
+
+val cycle_capacity : Workload.t -> Schedule.t -> Size.t
+(** Bytes retained per cycle: one full plus all its incrementals. *)
+
+val recovery_size : workload:Workload.t -> Technique.t -> Size.t
+(** Worst-case bytes transferred when this level sources a full recovery:
+    a full copy, plus the largest incremental for backup cycles with
+    incrementals. *)
+
+val shipments_per_year : Schedule.t -> float
+(** Vault shipments per year: one per accumulation window. *)

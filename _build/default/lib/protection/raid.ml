@@ -1,0 +1,28 @@
+type t = Raid0 | Raid1 | Raid5 of { stripe_width : int } | Raid10
+
+let check_stripe w =
+  if w < 3 then invalid_arg "Raid5: stripe width must be at least 3"
+
+let capacity_factor = function
+  | Raid0 -> 1.
+  | Raid1 | Raid10 -> 2.
+  | Raid5 { stripe_width } ->
+    check_stripe stripe_width;
+    float_of_int stripe_width /. float_of_int (stripe_width - 1)
+
+let write_amplification = function
+  | Raid0 -> 1.
+  | Raid1 | Raid10 -> 2.
+  | Raid5 _ -> 4.
+
+let tolerates_disk_failure = function
+  | Raid0 -> false
+  | Raid1 | Raid5 _ | Raid10 -> true
+
+let to_string = function
+  | Raid0 -> "RAID-0"
+  | Raid1 -> "RAID-1"
+  | Raid5 { stripe_width } -> Printf.sprintf "RAID-5(%d)" stripe_width
+  | Raid10 -> "RAID-10"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,25 @@
+(** RAID organization of a disk array (§2).
+
+    The primary copy is protected against internal disk failure by RAID;
+    the framework needs only its raw-capacity overhead (the case study's
+    array percentages include a RAID-1 factor of two) and its write
+    amplification (used by the simulator's contention model and the
+    ablation benches; the paper's utilization model charges client
+    bandwidth only). *)
+
+type t =
+  | Raid0  (** striping only, no redundancy *)
+  | Raid1  (** mirroring *)
+  | Raid5 of { stripe_width : int }  (** rotating parity over [stripe_width] disks *)
+  | Raid10  (** striped mirrors *)
+
+val capacity_factor : t -> float
+(** Raw bytes stored per logical byte: 1 for RAID-0, 2 for RAID-1/10,
+    [w / (w-1)] for RAID-5. *)
+
+val write_amplification : t -> float
+(** Device-level writes per logical write: 1, 2, 4 (read-modify-write), 2. *)
+
+val tolerates_disk_failure : t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,97 @@
+open Storage_units
+
+(** Retrieval-point schedules: the uniform parameterization of data
+    protection techniques (§3.2.1, Table 1, Figure 2).
+
+    A level's schedule says how often retrieval points (RPs) are created
+    ([accW]), how long each waits before transmission ([holdW]), how long
+    transmission takes ([propW]), how many are kept ([retCnt] cycles of
+    [cyclePer]), and in what representation. A cycle optionally mixes a
+    primary representation (e.g. a weekend full backup) with [cycleCnt]
+    secondary windows (e.g. weekday cumulative incrementals), each with its
+    own windows. *)
+
+type representation =
+  | Full  (** complete copy of the dataset *)
+  | Cumulative  (** all changes since the last full *)
+  | Differential  (** changes since the last RP of any kind *)
+
+type windows = private {
+  accumulation : Duration.t;  (** [accW]: period between RPs of this kind *)
+  propagation : Duration.t;  (** [propW]: transmission window *)
+  hold : Duration.t;  (** [holdW]: delay between receipt and transmission *)
+}
+
+val windows :
+  acc:Duration.t -> ?prop:Duration.t -> ?hold:Duration.t -> unit -> windows
+(** [prop] and [hold] default to zero. Raises [Invalid_argument] when [acc]
+    is zero or [prop > acc] (the flow between levels could not keep up,
+    §3.2.1 convention 1). *)
+
+type t = private {
+  full : windows;  (** windows of the primary (full) representation *)
+  secondary : (representation * windows) option;
+      (** optional secondary representation within each cycle *)
+  cycle_count : int;  (** [cycleCnt]: secondary windows per cycle *)
+  retention_count : int;  (** [retCnt]: cycles of RPs retained *)
+  copy_representation : representation;  (** [copyRep] *)
+}
+
+val make :
+  full:windows ->
+  ?secondary:representation * windows ->
+  ?cycle_count:int ->
+  retention_count:int ->
+  ?copy_representation:representation ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when [retention_count < 1], when a secondary
+    representation is [Full], or when [cycle_count] is inconsistent with the
+    presence of [secondary] (zero with a secondary, or nonzero without).
+    The cycle period is defined as
+    [full.acc + cycle_count * secondary.acc]. *)
+
+val simple :
+  acc:Duration.t ->
+  ?prop:Duration.t ->
+  ?hold:Duration.t ->
+  retention_count:int ->
+  unit ->
+  t
+(** A cycle holding a single full RP: [cyclePer = accW]. *)
+
+val cycle_period : t -> Duration.t
+(** [cyclePer]: [full.acc + cycle_count * secondary.acc]. *)
+
+val retention_window : t -> Duration.t
+(** [retW]: how long an RP is retained,
+    [retention_count * cycle_period]. *)
+
+val retention_span : t -> Duration.t
+(** The paper's retention term for the guaranteed range (§3.3.2):
+    [(retCnt - 1) * cyclePer]. *)
+
+val rp_interval_min : t -> Duration.t
+(** Shortest interval between consecutive RP arrivals at this level
+    (the secondary [accW] when present, else the full [accW]). Bounds the
+    best-case data loss once an RP has propagated. *)
+
+val propagation_max : t -> Duration.t
+(** Longest propagation window across representations: bounds how stale the
+    in-flight RP can be. *)
+
+val onward_windows : t -> windows
+(** Windows of the representation forwarded to the next level (the full
+    representation: only fulls are vaulted, §3.2.3). *)
+
+val worst_lag : t -> upstream:Duration.t -> Duration.t
+(** Worst-case time lag of this level relative to the primary copy:
+    [upstream + holdW + max propW + min accW] (§3.3.2-3.3.3, validated
+    against the case study's 217/73/37-hour data-loss cells). [upstream] is
+    the sum of [holdW + propW] of the levels in between. *)
+
+val best_lag : t -> upstream:Duration.t -> Duration.t
+(** Lag just after an RP arrives: [upstream + holdW + propW]. *)
+
+val pp : t Fmt.t
+val pp_representation : representation Fmt.t

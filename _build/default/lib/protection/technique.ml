@@ -1,0 +1,58 @@
+type mirror_mode = Synchronous | Asynchronous | Asynchronous_batch
+
+type t =
+  | Primary_copy of { raid : Raid.t }
+  | Split_mirror of Schedule.t
+  | Virtual_snapshot of Schedule.t
+  | Remote_mirror of { mode : mirror_mode; schedule : Schedule.t }
+  | Backup of Schedule.t
+  | Vaulting of Schedule.t
+  | Erasure_coded of {
+      fragments : int;
+      required : int;
+      schedule : Schedule.t;
+    }
+
+let name = function
+  | Primary_copy _ -> "foreground"
+  | Split_mirror _ -> "split mirror"
+  | Virtual_snapshot _ -> "virtual snapshot"
+  | Remote_mirror { mode = Synchronous; _ } -> "sync mirror"
+  | Remote_mirror { mode = Asynchronous; _ } -> "async mirror"
+  | Remote_mirror { mode = Asynchronous_batch; _ } -> "async batch mirror"
+  | Backup _ -> "backup"
+  | Vaulting _ -> "vaulting"
+  | Erasure_coded _ -> "erasure coded"
+
+let schedule = function
+  | Primary_copy _ -> None
+  | Split_mirror s | Virtual_snapshot s | Backup s | Vaulting s
+  | Remote_mirror { schedule = s; _ }
+  | Erasure_coded { schedule = s; _ } ->
+    Some s
+
+let expansion_factor = function
+  | Erasure_coded { fragments; required; _ } ->
+    if required <= 0 || fragments < required then
+      invalid_arg "Technique.Erasure_coded: need fragments >= required > 0";
+    float_of_int fragments /. float_of_int required
+  | Primary_copy _ | Split_mirror _ | Virtual_snapshot _ | Remote_mirror _
+  | Backup _ | Vaulting _ ->
+    1.
+
+let is_point_in_time = function
+  | Split_mirror _ | Virtual_snapshot _ | Backup _ | Vaulting _
+  | Erasure_coded _ ->
+    true
+  | Primary_copy _ | Remote_mirror _ -> false
+
+let colocated_with_primary = function
+  | Split_mirror _ | Virtual_snapshot _ -> true
+  | Primary_copy _ | Remote_mirror _ | Backup _ | Vaulting _
+  | Erasure_coded _ ->
+    false
+
+let pp ppf t =
+  match schedule t with
+  | None -> Fmt.string ppf (name t)
+  | Some s -> Fmt.pf ppf "%s [%a]" (name t) Schedule.pp s

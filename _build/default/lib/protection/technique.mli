@@ -1,0 +1,64 @@
+(** Data protection techniques (§2, §3.2).
+
+    Each technique is a way of maintaining retrieval points at one level of
+    the protection hierarchy, parameterized by a {!Schedule.t}. The primary
+    copy is the degenerate level-0 technique. *)
+
+type mirror_mode =
+  | Synchronous
+      (** every update applied to the secondary before write completion;
+          the link must sustain the {e peak} update rate *)
+  | Asynchronous  (** updates propagated in the background, in order *)
+  | Asynchronous_batch
+      (** overwrites coalesced over the accumulation window and sent as
+          atomic batches (Seneca/SnapMirror style) *)
+
+type t =
+  | Primary_copy of { raid : Raid.t }
+      (** level 0: the foreground copy on a disk array *)
+  | Split_mirror of Schedule.t
+      (** PiT copies as whole-array mirrors on the primary array; a circular
+          buffer of [retCnt] accessible mirrors plus one resilvering *)
+  | Virtual_snapshot of Schedule.t
+      (** PiT copies by copy-on-write (update-in-place variant: old value
+          copied out before each foreground write) *)
+  | Remote_mirror of { mode : mirror_mode; schedule : Schedule.t }
+      (** an isolated current copy on another array, reached over a link *)
+  | Backup of Schedule.t
+      (** periodic copy of RPs to separate hardware (tape library) *)
+  | Vaulting of Schedule.t
+      (** periodic shipment of full-backup media to an offsite vault *)
+  | Erasure_coded of {
+      fragments : int;  (** [n]: fragments stored *)
+      required : int;  (** [m]: fragments sufficient to reconstruct *)
+      schedule : Schedule.t;
+    }
+      (** wide-area erasure coding (OceanStore-style, the paper's [15]):
+          each accumulation window's unique updates are encoded into [n]
+          fragments, any [m] of which reconstruct the data; storage and
+          propagation cost a factor [n/m] of the underlying bytes. Not in
+          the paper's case study — included to exercise its claim that the
+          parameterization accommodates new techniques. *)
+
+val name : t -> string
+(** Stable label used in utilization and cost breakdowns ("foreground",
+    "split mirror", ...). *)
+
+val expansion_factor : t -> float
+(** Storage expansion over the logical bytes: [n/m] for erasure coding,
+    1 otherwise. *)
+
+val schedule : t -> Schedule.t option
+(** [None] for the primary copy; mirrors report their batch schedule. *)
+
+val is_point_in_time : t -> bool
+(** Split mirrors and snapshots retain historical versions and can serve
+    rollback targets; mirrors track the current state only. *)
+
+val colocated_with_primary : t -> bool
+(** Split mirrors and virtual snapshots live on the primary array and are
+    lost with it (and a corrupting [Data_object] failure also invalidates
+    snapshots' shared physical storage only when the rollback target
+    predates retention — handled by the range logic, not here). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/report/metric.ml: Duration Money Printf Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/report/metric.mli: Duration Money Rate Size Storage_units

@@ -1,0 +1,22 @@
+(** Minimal JSON emission (no parsing).
+
+    Machine-readable output for scripting (`ssdep evaluate --json`): a
+    small value tree and a serializer with correct string escaping and
+    float formatting. Deliberately write-only — the library consumes
+    design files in its own language, never JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line serialization. Non-finite floats become [null]
+    (JSON has no representation for them). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented serialization. *)

@@ -1,0 +1,9 @@
+open Storage_units
+
+let hours d = Printf.sprintf "%.1f" (Duration.to_hours d)
+let seconds d = Printf.sprintf "%.3f" (Duration.to_seconds d)
+let percent f = Printf.sprintf "%.1f%%" (100. *. f)
+let money_m m = Printf.sprintf "$%.2fM" (Money.to_millions m)
+let mib_per_sec r = Printf.sprintf "%.1f" (Rate.to_mib_per_sec r)
+let tib s = Printf.sprintf "%.1f" (Size.to_tib s)
+let gib s = Printf.sprintf "%.0f" (Size.to_gib s)

@@ -1,0 +1,19 @@
+open Storage_units
+
+(** Metric formatting used across the tables (the paper reports hours with
+    one decimal, percentages with one decimal, and dollars in millions). *)
+
+val hours : Duration.t -> string
+(** ["2.4"] — hours, one decimal; seconds rendered with more precision when
+    below a minute (the object-recovery cell is 0.004 s). *)
+
+val seconds : Duration.t -> string
+val percent : float -> string
+(** [percent 0.024] is ["2.4%"]. *)
+
+val money_m : Money.t -> string
+(** ["$0.97M"]. *)
+
+val mib_per_sec : Rate.t -> string
+val tib : Size.t -> string
+val gib : Size.t -> string

@@ -1,0 +1,51 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let trim_right line =
+  let len = String.length line in
+  let rec last i = if i > 0 && line.[i - 1] = ' ' then last (i - 1) else i in
+  String.sub line 0 (last len)
+
+let render ?title ~headers ?(aligns = []) rows =
+  let ncols = List.length headers in
+  let rows =
+    List.map
+      (fun row ->
+        let n = List.length row in
+        if n > ncols then invalid_arg "Table.render: row wider than the header";
+        row @ List.init (ncols - n) (fun _ -> ""))
+      rows
+  in
+  let aligns =
+    let n = List.length aligns in
+    if n >= ncols then aligns
+    else aligns @ List.init (ncols - n) (fun _ -> Left)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let row_line cells =
+    List.mapi (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell) cells
+    |> String.concat "  " |> trim_right
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let body = row_line headers :: rule :: List.map row_line rows in
+  let lines = match title with Some t -> t :: body | None -> body in
+  String.concat "\n" lines
+
+let print ?title ~headers ?aligns rows =
+  print_string (render ?title ~headers ?aligns rows);
+  print_newline ();
+  print_newline ()

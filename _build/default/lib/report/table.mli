@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the CLI, examples and bench harness.
+
+    Renders rows of cells with per-column alignment and a header rule,
+    wide enough for each column's longest cell. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> string
+(** [render ~headers rows] lays the table out with two spaces between
+    columns. [aligns] defaults to left for every column; a short list is
+    padded with [Left]. Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val print :
+  ?title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> unit
+(** {!render} to stdout, followed by a blank line. *)

@@ -1,0 +1,1 @@
+lib/sim/flow_net.ml: Float Hashtbl List Option String

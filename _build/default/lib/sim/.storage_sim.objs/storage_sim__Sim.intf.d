@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Data_loss Design Duration Scenario Storage_model Storage_units

@@ -1,0 +1,21 @@
+(** A priority queue of timestamped events (binary min-heap).
+
+    The simulator's core scheduling structure: O(log n) insertion and
+    extraction, stable enough for discrete-event use (ties break by
+    insertion order, so same-time events fire first-scheduled-first). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on a non-finite time. *)
+
+val peek_time : 'a t -> float option
+val pop : 'a t -> (float * 'a) option
+val clear : 'a t -> unit
+
+val drain_until : 'a t -> float -> (float * 'a) list
+(** Pops every event with time <= the bound, in order. *)

@@ -1,0 +1,627 @@
+open Storage_units
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+open Storage_model
+
+let log_src =
+  Logs.Src.create "storage.sim" ~doc:"storage dependability simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  warmup : Duration.t;
+  log : bool;
+  outage : (int * Duration.t) option;
+  record_events : bool;
+}
+
+let default_config =
+  { warmup = Duration.weeks 12.; log = false; outage = None;
+    record_events = false }
+
+type measured = {
+  failure_time : Duration.t;
+  source_level : int option;
+  data_loss : Data_loss.loss;
+  recovery_time : Duration.t option;
+  rp_count : int array;
+  rp_newest_age : Duration.t option array;
+  rp_oldest_age : Duration.t option array;
+  bandwidth_utilization : (string * float) list;
+  timeline : (Duration.t * string) list;
+}
+
+type rp = { capture_time : float }
+type kind = K_full | K_incr of int
+
+type event =
+  | Capture of { level : int; kind : kind }
+  | Transfer_start of {
+      level : int;
+      capture : float;
+      size : float;
+      prop : float;
+    }
+  | Shipment_arrive of { level : int; capture : float }
+
+type level_state = {
+  sched : Schedule.t option;
+  store : rp list ref;  (* newest capture first *)
+  keep : int;
+}
+
+type state = {
+  design : Design.t;
+  hierarchy : Hierarchy.t;
+  levels : level_state array;
+  queue : event Event_queue.t;
+  net : Flow_net.t;
+  nodes : (string, Flow_net.node) Hashtbl.t;  (* device/link name -> node *)
+  mutable inflight : (Flow_net.flow * (int * float)) list;
+  mutable now : float;
+  verbose : bool;
+  mutable outage_level : int option;
+  mutable outage_start : float;
+  reservations : (string * float) list;  (* device name -> reserved B/s *)
+  mutable record : bool;
+  mutable events : (float * string) list;  (* newest first *)
+}
+
+let secs = Duration.to_seconds
+
+let record st fmt =
+  Printf.ksprintf
+    (fun msg -> if st.record then st.events <- (st.now, msg) :: st.events)
+    fmt
+
+(* Techniques whose normal-mode bandwidth is a continuous background load
+   (client I/O, resilvering, copy-on-write); their demands become static
+   reservations, while backup / vaulting / mirroring propagation is modeled
+   as explicit flows. *)
+let reserved_technique name =
+  List.mem name [ "foreground"; "split mirror"; "virtual snapshot" ]
+
+let build_network design hierarchy =
+  let net = Flow_net.create () in
+  let nodes = Hashtbl.create 8 in
+  let reservations = ref [] in
+  List.iter
+    (fun (d : Device.t) ->
+      let bw = Rate.to_bytes_per_sec (Device.max_bandwidth d) in
+      if bw > 0. then begin
+        let node = Flow_net.add_node net ~name:d.Device.name ~capacity:bw in
+        let reservation =
+          Design.loaded_demands_on design d
+          |> Demand.by_technique
+          |> List.fold_left
+               (fun acc (tech, demand) ->
+                 if reserved_technique tech then
+                   acc +. Rate.to_bytes_per_sec (Demand.total_bw demand)
+                 else acc)
+               0.
+        in
+        Flow_net.set_reservation net node reservation;
+        reservations := (d.Device.name, reservation) :: !reservations;
+        Hashtbl.replace nodes d.Device.name node
+      end)
+    (Design.devices design);
+  List.iter
+    (fun (l : Hierarchy.level) ->
+      match l.Hierarchy.link with
+      | Some link when not (Hashtbl.mem nodes link.Interconnect.name) -> (
+        match Interconnect.bandwidth link with
+        | Some bw ->
+          let node =
+            Flow_net.add_node net ~name:link.Interconnect.name
+              ~capacity:(Rate.to_bytes_per_sec bw)
+          in
+          Hashtbl.replace nodes link.Interconnect.name node
+        | None -> ())
+      | Some _ | None -> ())
+    (Hierarchy.levels hierarchy);
+  (net, nodes, List.rev !reservations)
+
+let store_rp st level capture =
+  let ls = st.levels.(level) in
+  let rec insert = function
+    | [] -> [ { capture_time = capture } ]
+    | hd :: _ as rest when hd.capture_time <= capture ->
+      { capture_time = capture } :: rest
+    | hd :: tl -> hd :: insert tl
+  in
+  let updated = insert !(ls.store) in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | hd :: tl -> hd :: take (n - 1) tl
+  in
+  ls.store := take ls.keep updated;
+  record st "level %d stores RP captured %.0f s ago" level (st.now -. capture);
+  if st.verbose then
+    Log.debug (fun m ->
+        m "t=%.0f: level %d stores RP captured at %.0f" st.now level capture)
+
+let newest st level =
+  match !(st.levels.(level).store) with [] -> None | rp :: _ -> Some rp
+
+(* Capture times within one cycle: the full at the end of its accumulation
+   window, then each incremental at the end of its own. Scheduling the next
+   cycle when the current full fires keeps the queue shallow. *)
+let schedule_cycle st level ~cycle_start =
+  match st.levels.(level).sched with
+  | None -> ()
+  | Some s ->
+    let full_at = cycle_start +. secs s.Schedule.full.Schedule.accumulation in
+    Event_queue.push st.queue ~time:full_at (Capture { level; kind = K_full });
+    (match s.Schedule.secondary with
+    | None -> ()
+    | Some (_, w) ->
+      for k = 1 to s.Schedule.cycle_count do
+        let at = full_at +. (float_of_int k *. secs w.Schedule.accumulation) in
+        Event_queue.push st.queue ~time:at
+          (Capture { level; kind = K_incr k })
+      done)
+
+let kind_windows (s : Schedule.t) = function
+  | K_full -> s.Schedule.full
+  | K_incr _ -> (
+    match s.Schedule.secondary with
+    | Some (_, w) -> w
+    | None -> s.Schedule.full)
+
+(* Bytes actually moved when an RP propagates to [level]. Colocated PiT
+   copies (split mirrors, snapshots) materialize instantaneously at the
+   split — their background resilvering/copy-on-write load is already part
+   of the device reservations. Mirrors send one batch of coalesced unique
+   updates. Backup sends fulls or incrementals. *)
+let rp_transfer_size design technique (s : Schedule.t) kind =
+  match (technique : Technique.t) with
+  | Technique.Primary_copy _ | Technique.Split_mirror _
+  | Technique.Virtual_snapshot _ ->
+    Size.zero
+  | Technique.Remote_mirror { schedule; _ } ->
+    Storage_workload.Workload.unique_bytes design.Design.workload
+      schedule.Schedule.full.Schedule.accumulation
+  | Technique.Erasure_coded { schedule; _ } as tech ->
+    Size.scale
+      (Technique.expansion_factor tech)
+      (Storage_workload.Workload.unique_bytes design.Design.workload
+         schedule.Schedule.full.Schedule.accumulation)
+  | Technique.Backup _ | Technique.Vaulting _ -> (
+    match kind with
+    | K_full -> Demands.full_size design.Design.workload
+    | K_incr k -> Demands.incremental_size design.Design.workload s ~index:k)
+
+let in_outage st level =
+  match st.outage_level with
+  | Some l when l = level -> st.now >= st.outage_start
+  | Some _ | None -> false
+
+let handle_capture st ~level ~kind =
+  let s = Option.get st.levels.(level).sched in
+  (* Re-arm the next cycle when the full fires. *)
+  (if kind = K_full then
+     let cycle_start =
+       st.now -. secs s.Schedule.full.Schedule.accumulation
+     in
+     schedule_cycle st level
+       ~cycle_start:(cycle_start +. secs (Schedule.cycle_period s)));
+  let capture =
+    if level = 1 then Some st.now
+    else
+      match newest st (level - 1) with
+      | Some rp -> Some rp.capture_time
+      | None -> None
+  in
+  match capture with
+  | None ->
+    if st.verbose then
+      Log.debug (fun m ->
+          m "t=%.0f: level %d capture skipped (nothing upstream)" st.now level)
+  | Some _ when in_outage st level ->
+    if st.verbose then
+      Log.debug (fun m ->
+          m "t=%.0f: level %d capture suppressed (outage)" st.now level)
+  | Some capture ->
+    let w = kind_windows s kind in
+    let technique = (Hierarchy.level st.hierarchy level).Hierarchy.technique in
+    let size = Size.to_bytes (rp_transfer_size st.design technique s kind) in
+    Event_queue.push st.queue
+      ~time:(st.now +. secs w.Schedule.hold)
+      (Transfer_start
+         { level; capture; size; prop = secs w.Schedule.propagation })
+
+let handle_transfer_start st ~level ~capture ~size ~prop =
+  if in_outage st level then ignore capture
+  else begin
+    let l = Hierarchy.level st.hierarchy level in
+  let upstream = Hierarchy.level st.hierarchy (level - 1) in
+  match l.Hierarchy.link with
+  | Some ({ Interconnect.transport = Interconnect.Shipment; _ } as link) ->
+    Event_queue.push st.queue
+      ~time:(st.now +. secs link.Interconnect.delay)
+      (Shipment_arrive { level; capture })
+  | link -> (
+    let node name = Hashtbl.find_opt st.nodes name in
+    let src = node upstream.Hierarchy.device.Device.name
+    and dst = node l.Hierarchy.device.Device.name in
+    let link_node =
+      match link with
+      | Some lk -> node lk.Interconnect.name
+      | None -> None
+    in
+    let through =
+      match (src, dst) with
+      | Some a, Some b when Flow_net.node_name a = Flow_net.node_name b ->
+        [ (a, 2) ]
+      | Some a, Some b -> [ (a, 1); (b, 1) ]
+      | Some a, None -> [ (a, 1) ]
+      | None, Some b -> [ (b, 1) ]
+      | None, None -> []
+    in
+    let through =
+      match link_node with Some n -> (n, 1) :: through | None -> through
+    in
+    if size <= 0. || through = [] then store_rp st level capture
+    else begin
+      let rate_cap = if prop > 0. then size /. prop else infinity in
+      let flow =
+        Flow_net.add_flow st.net ~rate_cap
+          ~label:(Printf.sprintf "rp->%d" level)
+          ~through ~bytes:size ()
+      in
+      record st "level %d starts a %.0f MiB propagation" level
+        (size /. (1024. *. 1024.));
+      st.inflight <- (flow, (level, capture)) :: st.inflight
+    end)
+  end
+
+let handle_event st = function
+  | Capture { level; kind } -> handle_capture st ~level ~kind
+  | Transfer_start { level; capture; size; prop } ->
+    handle_transfer_start st ~level ~capture ~size ~prop
+  | Shipment_arrive { level; capture } -> store_rp st level capture
+
+let complete_flows st flows =
+  List.iter
+    (fun flow ->
+      match List.assq_opt flow st.inflight with
+      | Some (level, capture) ->
+        st.inflight <- List.remove_assq flow st.inflight;
+        store_rp st level capture
+      | None -> ())
+    flows
+
+(* Advance the interleaved discrete events and flow completions up to
+   [until]. *)
+let run_until st until =
+  let rec loop () =
+    if st.now < until then begin
+      let next_event = Event_queue.peek_time st.queue in
+      let next_flow = Flow_net.next_completion st.net in
+      let next_time =
+        List.fold_left
+          (fun acc t -> match t with Some x -> Float.min acc x | None -> acc)
+          until
+          [
+            next_event;
+            Option.map (fun (dt, _) -> st.now +. dt) next_flow;
+          ]
+      in
+      let dt = Float.max 0. (next_time -. st.now) in
+      let completed = Flow_net.advance st.net dt in
+      st.now <- next_time;
+      complete_flows st completed;
+      List.iter
+        (fun (_, ev) -> handle_event st ev)
+        (Event_queue.drain_until st.queue st.now);
+      loop ()
+    end
+  in
+  loop ()
+
+let build design =
+  let hierarchy = design.Design.hierarchy in
+  let n = Hierarchy.length hierarchy in
+  let net, nodes, reservations = build_network design hierarchy in
+  let levels =
+    Array.init n (fun j ->
+        let sched =
+          Technique.schedule (Hierarchy.level hierarchy j).Hierarchy.technique
+        in
+        let keep =
+          match sched with
+          | None -> 1
+          | Some s ->
+            s.Schedule.retention_count * (1 + s.Schedule.cycle_count)
+        in
+        { sched; store = ref []; keep })
+  in
+  let st =
+    {
+      design;
+      hierarchy;
+      levels;
+      queue = Event_queue.create ();
+      net;
+      nodes;
+      inflight = [];
+      now = 0.;
+      verbose = false;
+      outage_level = None;
+      outage_start = infinity;
+      reservations;
+      record = false;
+      events = [];
+    }
+  in
+  (* Align each level's cycle so that its captures land just after the
+     upstream level's arrivals (the way operators schedule backup windows
+     after the split and vault pickups after the backup). Without this,
+     phase misalignment adds up to one upstream accumulation window of
+     extra staleness per level — real, and exposed by sweep_failure_phase,
+     but not what the paper's composed worst case describes. *)
+  for j = 1 to n - 1 do
+    let phase =
+      if j = 1 then 0.
+      else secs (Hierarchy.best_lag hierarchy (j - 1)) +. (60. *. float_of_int (j - 1))
+    in
+    schedule_cycle st j ~cycle_start:phase
+  done;
+  st
+
+(* --- failure handling and executed recovery --- *)
+
+let destroyed_devices st scope =
+  List.filter
+    (fun (d : Device.t) ->
+      Location.destroys scope ~device_name:d.Device.name d.Device.location)
+    (Design.devices st.design)
+
+let apply_failure st scope =
+  let destroyed = destroyed_devices st scope in
+  let is_dead name =
+    List.exists (fun (d : Device.t) -> String.equal d.Device.name name) destroyed
+  in
+  (* RPs stored on destroyed devices are gone, and in-flight transfers to or
+     from them abort. *)
+  Array.iteri
+    (fun j ls ->
+      let dev = (Hierarchy.level st.hierarchy j).Hierarchy.device in
+      if is_dead dev.Device.name then ls.store := [])
+    st.levels;
+  List.iter
+    (fun (flow, (level, _)) ->
+      let l = Hierarchy.level st.hierarchy level in
+      let upstream_dev =
+        (Hierarchy.level st.hierarchy (level - 1)).Hierarchy.device
+      in
+      if is_dead l.Hierarchy.device.Device.name
+         || is_dead upstream_dev.Device.name
+      then begin
+        Flow_net.cancel st.net flow;
+        st.inflight <- List.remove_assq flow st.inflight
+      end)
+    st.inflight
+
+let choose_source st scenario =
+  let scope = scenario.Scenario.scope in
+  let target = st.now -. secs scenario.Scenario.target_age in
+  let survivors = Hierarchy.surviving_levels st.hierarchy ~scope in
+  let primary_intact = List.mem 0 survivors in
+  if primary_intact && Duration.is_zero scenario.Scenario.target_age then
+    `No_recovery_needed
+  else begin
+    let candidates =
+      List.filter_map
+        (fun j ->
+          if j = 0 then None
+          else
+            (* The newest RP not newer than the target. *)
+            List.find_opt (fun rp -> rp.capture_time <= target)
+              !(st.levels.(j).store)
+            |> Option.map (fun rp -> (j, target -. rp.capture_time)))
+        survivors
+    in
+    match candidates with
+    | [] -> `Total_loss
+    | (j0, l0) :: rest ->
+      let j, loss =
+        List.fold_left
+          (fun (bj, bl) (j, l) -> if l < bl then (j, l) else (bj, bl))
+          (j0, l0) rest
+      in
+      `Recover_from (j, loss)
+  end
+
+(* Strict recovery execution: a hop's transfer starts only after the data
+   has arrived at the source side AND the receiving device is provisioned
+   (the analytical model lets provisioning overlap the transfer; see
+   Recovery_time). *)
+let execute_recovery st scenario ~source =
+  let scope = scenario.Scenario.scope in
+  let recovery_size =
+    match scenario.Scenario.object_size with
+    | Some s -> s
+    | None ->
+      Demands.recovery_size ~workload:st.design.Design.workload
+        (Hierarchy.level st.hierarchy source).Hierarchy.technique
+  in
+  let provisioned_at (d : Device.t) =
+    if Location.destroys scope ~device_name:d.Device.name d.Device.location
+    then
+      match Spare.provisioning_time (Device.spare_for d ~scope) with
+      | Some p -> Some (st.now +. secs p)
+      | None -> None
+    else Some st.now
+  in
+  let path = Recovery_time.recovery_path st.hierarchy ~source in
+  let rec hops rt = function
+    | a :: (b :: _ as rest) -> (
+      let la = Hierarchy.level st.hierarchy a
+      and lb = Hierarchy.level st.hierarchy b in
+      match provisioned_at lb.Hierarchy.device with
+      | None -> None
+      | Some prov -> (
+        let link = la.Hierarchy.link in
+        let transit =
+          match link with
+          | Some l -> secs l.Interconnect.delay
+          | None -> 0.
+        in
+        let is_shipment =
+          match link with
+          | Some { Interconnect.transport = Interconnect.Shipment; _ } -> true
+          | Some _ | None -> false
+        in
+        let arrival = rt +. transit in
+        let start = Float.max arrival prov in
+        if is_shipment then hops start rest
+        else begin
+          let node name = Hashtbl.find_opt st.nodes name in
+          let src = node la.Hierarchy.device.Device.name
+          and dst = node lb.Hierarchy.device.Device.name in
+          let link_node =
+            match link with Some l -> node l.Interconnect.name | None -> None
+          in
+          let through =
+            match (src, dst) with
+            | Some x, Some y when Flow_net.node_name x = Flow_net.node_name y
+              ->
+              [ (x, 2) ]
+            | Some x, Some y -> [ (x, 1); (y, 1) ]
+            | Some x, None -> [ (x, 1) ]
+            | None, Some y -> [ (y, 1) ]
+            | None, None -> []
+          in
+          let through =
+            match link_node with Some n -> (n, 1) :: through | None -> through
+          in
+          let ser_fix = secs la.Hierarchy.device.Device.access_delay in
+          let begin_xfer = start +. ser_fix in
+          if through = [] || Size.is_zero recovery_size then
+            hops begin_xfer rest
+          else begin
+            let flow =
+              Flow_net.add_flow st.net ~label:"recovery" ~through
+                ~bytes:(Size.to_bytes recovery_size)
+                ()
+            in
+            let xfer =
+              match Flow_net.next_completion st.net with
+              | Some (dt, f) when f == flow -> dt
+              | _ ->
+                (* Another flow finishes first; with propagation flows
+                   cancelled or reserved this is the recovery flow's own
+                   completion in practice, but fall back to its rate. *)
+                let r = Flow_net.rate st.net flow in
+                if r > 0. then Flow_net.remaining st.net flow /. r else nan
+            in
+            Flow_net.cancel st.net flow;
+            if Float.is_nan xfer then None else hops (begin_xfer +. xfer) rest
+          end
+        end))
+    | [ _ ] | [] -> Some rt
+  in
+  hops st.now path
+
+let measure_rp_stats st =
+  let n = Array.length st.levels in
+  let count = Array.make n 0 in
+  let newest_age = Array.make n None in
+  let oldest_age = Array.make n None in
+  Array.iteri
+    (fun j ls ->
+      let rps = !(ls.store) in
+      count.(j) <- List.length rps;
+      (match rps with
+      | head :: _ ->
+        newest_age.(j) <-
+          Some (Duration.seconds (Float.max 0. (st.now -. head.capture_time)))
+      | [] -> ());
+      match List.rev rps with
+      | last :: _ ->
+        oldest_age.(j) <-
+          Some (Duration.seconds (Float.max 0. (st.now -. last.capture_time)))
+      | [] -> ())
+    st.levels;
+  (count, newest_age, oldest_age)
+
+let measure_utilization st =
+  let elapsed = st.now in
+  if elapsed <= 0. then []
+  else
+    Hashtbl.fold
+      (fun name node acc ->
+        match List.assoc_opt name st.reservations with
+        | None -> acc (* link node *)
+        | Some reserved ->
+          let device =
+            List.find
+              (fun (d : Device.t) -> String.equal d.Device.name name)
+              (Design.devices st.design)
+          in
+          let capacity = Rate.to_bytes_per_sec (Device.max_bandwidth device) in
+          let used =
+            (reserved *. elapsed) +. Flow_net.node_bytes st.net node
+          in
+          (name, used /. (capacity *. elapsed)) :: acc)
+      st.nodes []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run ?(config = default_config) design scenario =
+  let st =
+    { (build design) with verbose = config.log; record = config.record_events }
+  in
+  (match config.outage with
+  | Some (level, duration) ->
+    if level <= 0 || level >= Hierarchy.length st.hierarchy then
+      invalid_arg "Sim.run: outage level out of range";
+    st.outage_level <- Some level;
+    st.outage_start <-
+      Float.max 0. (secs config.warmup -. secs duration)
+  | None -> ());
+  run_until st (secs config.warmup);
+  st.now <- secs config.warmup;
+  let bandwidth_utilization = measure_utilization st in
+  let rp_count, rp_newest_age, rp_oldest_age = measure_rp_stats st in
+  let failure_time = Duration.seconds st.now in
+  record st "FAILURE: %s" (Location.scope_name scenario.Scenario.scope);
+  apply_failure st scenario.Scenario.scope;
+  let source_level, data_loss, recovery_time =
+    match choose_source st scenario with
+    | `No_recovery_needed ->
+      (Some 0, Data_loss.Updates Duration.zero, Some Duration.zero)
+    | `Total_loss -> (None, Data_loss.Entire_object, None)
+    | `Recover_from (j, loss) -> (
+      record st "recovery source: level %d (loss %.0f s)" j loss;
+      let loss = Data_loss.Updates (Duration.seconds loss) in
+      match execute_recovery st scenario ~source:j with
+      | Some finish ->
+        record st "recovery complete %.0f s after the failure"
+          (finish -. st.now);
+        (Some j, loss, Some (Duration.seconds (finish -. st.now)))
+      | None -> (Some j, loss, None))
+  in
+  {
+    failure_time;
+    source_level;
+    data_loss;
+    recovery_time;
+    rp_count;
+    rp_newest_age;
+    rp_oldest_age;
+    bandwidth_utilization;
+    timeline =
+      List.rev_map (fun (t, m) -> (Duration.seconds t, m)) st.events;
+  }
+
+let sweep_failure_phase ?(config = default_config) design scenario ~offsets =
+  List.map
+    (fun offset ->
+      let config =
+        { config with warmup = Duration.add config.warmup offset }
+      in
+      run ~config design scenario)
+    offsets

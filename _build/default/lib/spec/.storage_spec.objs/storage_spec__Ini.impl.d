@@ -1,0 +1,1 @@
+lib/spec/ini.ml: List Printf Result String

@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Design Scenario Storage_model

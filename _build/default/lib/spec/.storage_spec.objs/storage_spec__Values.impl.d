@@ -1,0 +1,1 @@
+lib/spec/values.ml: Duration Float List Money Printf Rate Result Size Storage_units String

@@ -1,0 +1,1 @@
+lib/spec/values.mli: Duration Money Rate Size Storage_units

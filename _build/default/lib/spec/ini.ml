@@ -1,0 +1,135 @@
+type section = {
+  kind : string;
+  arg : string option;
+  entries : (string * string) list;
+  line : int;
+}
+
+let ( let* ) = Result.bind
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+let lowercase = String.lowercase_ascii
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let finish current sections =
+    match current with
+    | None -> sections
+    | Some s -> { s with entries = List.rev s.entries } :: sections
+  in
+  let rec loop lineno current sections = function
+    | [] -> Ok (List.rev (finish current sections))
+    | raw :: rest -> (
+      let line = String.trim raw in
+      let line =
+        match String.index_opt line '#' with
+        | Some 0 -> ""
+        | _ -> line
+      in
+      if line = "" then loop (lineno + 1) current sections rest
+      else if line.[0] = '[' then begin
+        if line.[String.length line - 1] <> ']' then
+          err "line %d: unterminated section header" lineno
+        else begin
+          let inner = String.sub line 1 (String.length line - 2) in
+          let kind, arg =
+            match String.index_opt inner ' ' with
+            | None -> (inner, None)
+            | Some i ->
+              ( String.sub inner 0 i,
+                Some
+                  (String.trim
+                     (String.sub inner (i + 1) (String.length inner - i - 1)))
+              )
+          in
+          if kind = "" then err "line %d: empty section name" lineno
+          else begin
+            let section =
+              { kind = lowercase kind; arg; entries = []; line = lineno }
+            in
+            loop (lineno + 1) (Some section) (finish current sections) rest
+          end
+        end
+      end
+      else begin
+        match String.index_opt line '=' with
+        | None -> err "line %d: expected \"key = value\" or a [section]" lineno
+        | Some i -> (
+          let key = lowercase (String.trim (String.sub line 0 i)) in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          (* Trailing comments: strip from the first " #". *)
+          let value =
+            let rec cut j =
+              if j + 1 >= String.length value then value
+              else if value.[j] = ' ' && value.[j + 1] = '#' then
+                String.trim (String.sub value 0 j)
+              else cut (j + 1)
+            in
+            cut 0
+          in
+          if key = "" then err "line %d: empty key" lineno
+          else begin
+            match current with
+            | None -> err "line %d: key %S outside any section" lineno key
+            | Some s ->
+              if List.mem_assoc key s.entries then
+                err "line %d: duplicate key %S in [%s]" lineno key s.kind
+              else
+                loop (lineno + 1)
+                  (Some { s with entries = (key, value) :: s.entries })
+                  sections rest
+          end)
+      end)
+  in
+  let* sections = loop 1 None [] lines in
+  (* Section identity (kind, arg) must be unique. *)
+  let rec dup_check seen = function
+    | [] -> Ok sections
+    | s :: rest ->
+      let id = (s.kind, s.arg) in
+      if List.mem id seen then
+        err "line %d: duplicate section [%s%s]" s.line s.kind
+          (match s.arg with Some a -> " " ^ a | None -> "")
+      else dup_check (id :: seen) rest
+  in
+  dup_check [] sections
+
+let find_all sections ~kind =
+  List.filter (fun s -> String.equal s.kind kind) sections
+
+let find_one sections ~kind =
+  match find_all sections ~kind with
+  | [ s ] -> Ok s
+  | [] -> err "missing required section [%s]" kind
+  | _ -> err "section [%s] appears more than once" kind
+
+let section_label s =
+  match s.arg with Some a -> Printf.sprintf "[%s %s]" s.kind a | None -> "[" ^ s.kind ^ "]"
+
+let get s key =
+  match List.assoc_opt (lowercase key) s.entries with
+  | Some v -> Ok v
+  | None -> err "%s (line %d): missing key %S" (section_label s) s.line key
+
+let get_opt s key = List.assoc_opt (lowercase key) s.entries
+
+let get_parsed s key parser =
+  let* raw = get s key in
+  match parser raw with
+  | Ok v -> Ok v
+  | Error e -> err "%s: key %S: %s" (section_label s) key e
+
+let get_parsed_opt s key parser =
+  match get_opt s key with
+  | None -> Ok None
+  | Some raw -> (
+    match parser raw with
+    | Ok v -> Ok (Some v)
+    | Error e -> err "%s: key %S: %s" (section_label s) key e)
+
+let unknown_keys s ~known =
+  let known = List.map lowercase known in
+  List.filter_map
+    (fun (k, _) -> if List.mem k known then None else Some k)
+    s.entries

@@ -1,0 +1,42 @@
+(** Sectioned key-value file syntax for design descriptions.
+
+    {v
+    # comment
+    [section]          or  [section argument]
+    key = value        # trailing comments (after " #") are stripped
+    v}
+
+    Keys are case-insensitive and unique within a section; section
+    (name, argument) pairs are unique within a file. Line numbers are
+    retained for error reporting. *)
+
+type section = private {
+  kind : string;  (** lowercase section name, e.g. ["device"] *)
+  arg : string option;  (** e.g. the device name in [[device array]] *)
+  entries : (string * string) list;  (** lowercase key -> raw value *)
+  line : int;
+}
+
+val parse : string -> (section list, string) result
+(** Parses a whole file's text. Errors name the offending line. *)
+
+val find_all : section list -> kind:string -> section list
+val find_one : section list -> kind:string -> (section, string) result
+(** Errors when missing or duplicated. *)
+
+val get : section -> string -> (string, string) result
+(** Required key; the error names the section and key. *)
+
+val get_opt : section -> string -> string option
+
+val get_parsed :
+  section -> string -> (string -> ('a, string) result) -> ('a, string) result
+(** Required key run through a {!Values} parser, with a contextual error. *)
+
+val get_parsed_opt :
+  section -> string -> (string -> ('a, string) result) ->
+  ('a option, string) result
+
+val unknown_keys : section -> known:string list -> string list
+(** Keys present in the section but not in [known] — used to reject
+    misspellings instead of silently ignoring them. *)

@@ -1,0 +1,78 @@
+open Storage_model
+
+(** Assembling designs from the textual description language.
+
+    A design file contains one [[workload]] section, one [[business]]
+    section, any number of [[device NAME]] and [[link NAME]] sections, and
+    a contiguous run of [[level 0]], [[level 1]], ... sections composing
+    the protection hierarchy. Optional [[scenario NAME]] sections describe
+    failure scenarios to evaluate. See [examples/designs/] for complete
+    files, and the key reference below.
+
+    {v
+    [workload]
+    name = orders-db
+    data_capacity = 500 GiB
+    avg_access_rate = 4 MiB/s
+    avg_update_rate = 1.5 MiB/s
+    burst_multiplier = 8
+    batch = 1min: 1.2 MiB/s, 12hr: 600 KiB/s, 1d: 500 KiB/s
+
+    [device array]
+    location = emea/hq/dc-1            # region/site/building
+    capacity_slots = 64 x 146 GiB
+    bandwidth_slots = 64 x 30 MiB/s    # optional (capacity-only if absent)
+    enclosure_bandwidth = 400 MiB/s    # optional
+    access_delay = 0                   # optional
+    cost_fixed = $60k                  # optional, with...
+    cost_per_gib = 15                  # ...per-capacity,
+    cost_per_mibps = 0                 # ...per-bandwidth,
+    cost_per_shipment = 0              # ...per-shipment components
+    spare = dedicated 2min             # none | dedicated DUR | shared DUR FRAC
+    remote_spare = shared 9hr 0.2      # optional
+
+    [link san]
+    type = network                     # network | shipment
+    bandwidth = 2 x 200 MiB/s          # network only
+    delay = 0
+    cost_per_mibps = 0
+    cost_per_shipment = 0              # shipment only
+
+    [level 0]
+    technique = primary                # primary | split_mirror | snapshot |
+    device = array                     # backup | vaulting | sync_mirror |
+    raid = raid1                       # async_mirror | async_batch_mirror
+    [level 1]
+    technique = backup
+    device = tapes
+    link = san
+    acc = 24hr
+    prop = 6hr
+    hold = 1hr
+    retention = 14
+    incremental = cumulative acc=24hr prop=12hr hold=1hr count=5  # optional
+
+    [business]
+    outage_penalty = $20k/hr
+    loss_penalty = $20k/hr
+    rto = 4hr                          # optional
+    rpo = 48hr                         # optional
+
+    [scenario array-failure]
+    scope = device array               # object | device N | building N |
+    target_age = 0                     # site N | region N
+    object_size = 1 MiB                # object scope only
+    v} *)
+
+val design_of_string : string -> (Design.t, string) result
+(** Parses and assembles a full design; errors carry section/line
+    context. *)
+
+val design_of_file : string -> (Design.t, string) result
+
+val scenarios_of_string :
+  string -> ((string * Scenario.t) list, string) result
+(** The named [[scenario]] sections of a design file (empty list when
+    none). *)
+
+val scenarios_of_file : string -> ((string * Scenario.t) list, string) result

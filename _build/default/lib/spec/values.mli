@@ -1,0 +1,26 @@
+open Storage_units
+
+(** Scalar value parsers for the design-description language.
+
+    All parsers are forgiving about whitespace and case, and return
+    descriptive errors rather than raising. Supported notations:
+
+    - durations: ["90s"], ["30 min"], ["12hr"], ["1.5d"], ["4wk"],
+      ["3yr"], ["0"] and sums like ["4wk + 12hr"];
+    - sizes: ["512B"], ["64KiB"], ["146 MiB"], ["1360GiB"], ["1.3TiB"]
+      (also the common [KB]/[MB]/[GB]/[TB] spellings, read as binary, as
+      in the paper);
+    - rates: a size per second (["25 MiB/s"], ["727KB/s"]) or a telecom
+      line rate in decimal megabits (["155 Mbps"]);
+    - money: ["$123297"], ["98895"], ["$1.5M"], ["50k"];
+    - counted values: ["256 x 73GiB"] splits into a count and a rest. *)
+
+val duration : string -> (Duration.t, string) result
+val size : string -> (Size.t, string) result
+val rate : string -> (Rate.t, string) result
+val money : string -> (Money.t, string) result
+val int_pos : string -> (int, string) result
+val float_pos : string -> (float, string) result
+
+val counted : string -> (int * string, string) result
+(** ["N x rest"] -> [(N, rest)]. *)

@@ -1,0 +1,1 @@
+lib/units/age_range.ml: Duration Fmt

@@ -1,0 +1,1 @@
+lib/units/money_rate.ml: Duration Float Fmt Money

@@ -1,0 +1,1 @@
+lib/units/money_rate.mli: Duration Fmt Money

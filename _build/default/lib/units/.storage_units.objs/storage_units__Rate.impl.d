@@ -1,0 +1,1 @@
+lib/units/rate.ml: Duration Float Fmt List Size

@@ -1,0 +1,1 @@
+lib/units/rate.mli: Duration Fmt Size

@@ -1,0 +1,1 @@
+lib/units/size.ml: Float Fmt List

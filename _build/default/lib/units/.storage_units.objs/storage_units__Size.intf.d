@@ -1,0 +1,1 @@
+lib/units/size.mli: Fmt

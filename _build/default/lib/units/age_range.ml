@@ -1,0 +1,21 @@
+type t = { newest_age : Duration.t; oldest_age : Duration.t }
+
+let make ~newest_age ~oldest_age =
+  if Duration.compare newest_age oldest_age > 0 then
+    invalid_arg "Age_range.make: newest_age must not exceed oldest_age";
+  { newest_age; oldest_age }
+
+let empty = { newest_age = Duration.zero; oldest_age = Duration.zero }
+let newest_age t = t.newest_age
+let oldest_age t = t.oldest_age
+let span t = Duration.sub t.oldest_age t.newest_age
+
+let contains t age =
+  Duration.compare t.newest_age age <= 0 && Duration.compare age t.oldest_age <= 0
+
+let is_empty t = Duration.equal t.newest_age t.oldest_age
+let equal a b = Duration.equal a.newest_age b.newest_age && Duration.equal a.oldest_age b.oldest_age
+
+let pp ppf t =
+  Fmt.pf ppf "[now - %a ... now - %a]" Duration.pp t.oldest_age Duration.pp
+    t.newest_age

@@ -1,0 +1,29 @@
+(** Ranges of retrieval-point ages.
+
+    Section 3.3.2 of the paper characterizes each hierarchy level by the range
+    of time *guaranteed* to be represented by its retrieval points. We express
+    the range as ages relative to "now": a level guarantees RPs whose capture
+    times lie between [newest_age] (the level's worst-case time lag) and
+    [oldest_age] (the lag plus the retention span) before now. *)
+
+type t = private { newest_age : Duration.t; oldest_age : Duration.t }
+
+val make : newest_age:Duration.t -> oldest_age:Duration.t -> t
+(** Raises [Invalid_argument] if [newest_age > oldest_age]. *)
+
+val empty : t
+(** The degenerate range that guarantees nothing ([newest = oldest = 0]). *)
+
+val newest_age : t -> Duration.t
+val oldest_age : t -> Duration.t
+
+val span : t -> Duration.t
+(** [oldest_age - newest_age]: the width of the guaranteed window. *)
+
+val contains : t -> Duration.t -> bool
+(** [contains t age] holds when a recovery target [age] in the past is
+    guaranteed to have an RP at this level. *)
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,49 @@
+type t = float (* seconds *)
+
+let zero = 0.
+
+let seconds s =
+  if not (Float.is_finite s) || s < 0. then
+    invalid_arg "Duration.seconds: negative or non-finite";
+  s
+
+let minutes x = seconds (x *. 60.)
+let hours x = seconds (x *. 3600.)
+let days x = seconds (x *. 86400.)
+let weeks x = seconds (x *. 7. *. 86400.)
+let years x = seconds (x *. 365. *. 86400.)
+let to_seconds t = t
+let to_minutes t = t /. 60.
+let to_hours t = t /. 3600.
+let to_days t = t /. 86400.
+let to_weeks t = t /. (7. *. 86400.)
+let to_years t = t /. (365. *. 86400.)
+let add a b = a +. b
+let sub a b = Float.max 0. (a -. b)
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg "Duration.scale: negative or non-finite factor";
+  k *. t
+
+let ratio num denom = if denom = 0. then raise Division_by_zero else num /. denom
+let min = Float.min
+let max = Float.max
+let sum = List.fold_left add zero
+let is_zero t = t = 0.
+let compare = Float.compare
+let equal = Float.equal
+let ( + ) = add
+let ( - ) = sub
+
+let pp ppf t =
+  if t = 0. then Fmt.string ppf "0 s"
+  else if t >= 2. *. 365. *. 86400. then Fmt.pf ppf "%.1f yr" (to_years t)
+  else if t >= 2. *. 7. *. 86400. then Fmt.pf ppf "%.1f wk" (to_weeks t)
+  else if t >= 2. *. 86400. then Fmt.pf ppf "%.1f d" (to_days t)
+  else if t >= 3600. then Fmt.pf ppf "%.1f hr" (to_hours t)
+  else if t >= 60. then Fmt.pf ppf "%.1f min" (to_minutes t)
+  else if t >= 1. then Fmt.pf ppf "%.1f s" t
+  else Fmt.pf ppf "%.4f s" t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,49 @@
+(** Time durations.
+
+    A {!t} is a span of time in seconds (non-negative float). Calendar
+    conventions follow the paper: a week is 7 days, a year is 365 days. *)
+
+type t
+
+val zero : t
+
+val seconds : float -> t
+(** Raises [Invalid_argument] on negative or non-finite input. *)
+
+val minutes : float -> t
+val hours : float -> t
+val days : float -> t
+val weeks : float -> t
+val years : float -> t
+
+val to_seconds : t -> float
+val to_minutes : t -> float
+val to_hours : t -> float
+val to_days : t -> float
+val to_weeks : t -> float
+val to_years : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] is [a - b] clamped at {!zero}. *)
+
+val scale : float -> t -> t
+val ratio : t -> t -> float
+(** Dimensionless quotient; raises [Division_by_zero] on a zero divisor. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val sum : t list -> t
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val pp : t Fmt.t
+(** Human-readable rendering with an automatically chosen unit ("2.4 hr",
+    "26.4 hr", "3.0 s", ...). *)
+
+val to_string : t -> string

@@ -1,0 +1,38 @@
+type t = float (* US dollars *)
+
+let zero = 0.
+
+let usd x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg "Money.usd: negative or non-finite";
+  x
+
+let of_thousands x = usd (x *. 1e3)
+let of_millions x = usd (x *. 1e6)
+let to_usd t = t
+let to_millions t = t /. 1e6
+let add a b = a +. b
+let sub a b = Float.max 0. (a -. b)
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg "Money.scale: negative or non-finite factor";
+  k *. t
+
+let ratio num denom = if denom = 0. then raise Division_by_zero else num /. denom
+let min = Float.min
+let max = Float.max
+let sum = List.fold_left add zero
+let is_zero t = t = 0.
+let compare = Float.compare
+let equal = Float.equal
+let ( + ) = add
+
+let pp ppf t =
+  (* Follow the paper's convention of quoting costs in millions once they
+     reach $0.1M. *)
+  if t >= 1e5 then Fmt.pf ppf "$%.2fM" (t /. 1e6)
+  else if t >= 1e4 then Fmt.pf ppf "$%.1fk" (t /. 1e3)
+  else Fmt.pf ppf "$%.0f" t
+
+let to_string t = Fmt.str "%a" pp t

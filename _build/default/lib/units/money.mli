@@ -1,0 +1,38 @@
+(** Money amounts (US dollars).
+
+    Unlike sizes and durations, money may legitimately be compared against
+    budgets but never goes negative in this framework: all outlays and
+    penalties are non-negative. *)
+
+type t
+
+val zero : t
+
+val usd : float -> t
+(** Raises [Invalid_argument] on negative or non-finite input. *)
+
+val of_thousands : float -> t
+val of_millions : float -> t
+val to_usd : t -> float
+val to_millions : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Clamped at {!zero}. *)
+
+val scale : float -> t -> t
+val ratio : t -> t -> float
+val min : t -> t -> t
+val max : t -> t -> t
+val sum : t list -> t
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val ( + ) : t -> t -> t
+
+val pp : t Fmt.t
+(** Renders like the paper's figures: ["$0.97M"], ["$123,297"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,24 @@
+type t = float (* dollars per second *)
+
+let zero = 0.
+
+let usd_per_sec x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg "Money_rate.usd_per_sec: negative or non-finite";
+  x
+
+let usd_per_hour x = usd_per_sec (x /. 3600.)
+let to_usd_per_hour t = t *. 3600.
+let charge t d = Money.usd (t *. Duration.to_seconds d)
+let add a b = a +. b
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg "Money_rate.scale: negative or non-finite factor";
+  k *. t
+
+let is_zero t = t = 0.
+let compare = Float.compare
+let equal = Float.equal
+let pp ppf t = Fmt.pf ppf "$%.0f/hr" (to_usd_per_hour t)
+let to_string t = Fmt.str "%a" pp t

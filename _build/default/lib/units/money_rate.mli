@@ -1,0 +1,25 @@
+(** Money per unit time: penalty rates and capacity/bandwidth cost slopes.
+
+    The paper expresses penalty rates in dollars per hour of outage or per
+    hour of lost updates (both $50,000/hr in the case study). *)
+
+type t
+
+val zero : t
+
+val usd_per_hour : float -> t
+(** Raises [Invalid_argument] on negative or non-finite input. *)
+
+val usd_per_sec : float -> t
+val to_usd_per_hour : t -> float
+
+val charge : t -> Duration.t -> Money.t
+(** [charge rate d] is the penalty for a duration [d]. *)
+
+val add : t -> t -> t
+val scale : float -> t -> t
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

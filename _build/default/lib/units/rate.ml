@@ -1,0 +1,55 @@
+type t = float (* bytes per second *)
+
+let zero = 0.
+
+let bytes_per_sec r =
+  if not (Float.is_finite r) || r < 0. then
+    invalid_arg "Rate.bytes_per_sec: negative or non-finite";
+  r
+
+let kib_per_sec x = bytes_per_sec (x *. 1024.)
+let mib_per_sec x = bytes_per_sec (x *. 1024. *. 1024.)
+let gib_per_sec x = bytes_per_sec (x *. 1024. *. 1024. *. 1024.)
+let megabits_per_sec x = bytes_per_sec (x *. 1e6 /. 8.)
+let to_bytes_per_sec t = t
+let to_kib_per_sec t = t /. 1024.
+let to_mib_per_sec t = t /. (1024. *. 1024.)
+
+let of_size_per s d =
+  let secs = Duration.to_seconds d in
+  if secs = 0. then raise Division_by_zero
+  else bytes_per_sec (Size.to_bytes s /. secs)
+
+let over r d = Size.bytes (r *. Duration.to_seconds d)
+
+let time_to_transfer s r =
+  let b = Size.to_bytes s in
+  if b = 0. then Duration.zero
+  else if r = 0. then raise Division_by_zero
+  else Duration.seconds (b /. r)
+
+let add a b = a +. b
+let sub a b = Float.max 0. (a -. b)
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg "Rate.scale: negative or non-finite factor";
+  k *. t
+
+let ratio num denom = if denom = 0. then raise Division_by_zero else num /. denom
+let min = Float.min
+let max = Float.max
+let sum = List.fold_left add zero
+let is_zero t = t = 0.
+let compare = Float.compare
+let equal = Float.equal
+let ( + ) = add
+let ( - ) = sub
+
+let pp ppf t =
+  if t >= 1024. ** 3. then Fmt.pf ppf "%.2f GiB/s" (t /. (1024. ** 3.))
+  else if t >= 1024. ** 2. then Fmt.pf ppf "%.2f MiB/s" (to_mib_per_sec t)
+  else if t >= 1024. then Fmt.pf ppf "%.2f KiB/s" (to_kib_per_sec t)
+  else Fmt.pf ppf "%.1f B/s" t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,54 @@
+(** Data transfer rates (bytes per second).
+
+    Bandwidths, workload access rates and update rates are all {!t} values.
+    The paper's "KB/s" and "MB/s" are binary ([2^10], [2^20] bytes/s). *)
+
+type t
+
+val zero : t
+
+val bytes_per_sec : float -> t
+(** Raises [Invalid_argument] on negative or non-finite input. *)
+
+val kib_per_sec : float -> t
+val mib_per_sec : float -> t
+val gib_per_sec : float -> t
+
+val megabits_per_sec : float -> t
+(** Decimal megabits per second, for telecom link speeds (OC-3 = 155 Mb/s). *)
+
+val to_bytes_per_sec : t -> float
+val to_kib_per_sec : t -> float
+val to_mib_per_sec : t -> float
+
+val of_size_per : Size.t -> Duration.t -> t
+(** [of_size_per s d] is the rate that transfers [s] in [d]. Raises
+    [Division_by_zero] when [d] is zero. *)
+
+val over : t -> Duration.t -> Size.t
+(** [over r d] is the amount transferred at rate [r] during [d]. *)
+
+val time_to_transfer : Size.t -> t -> Duration.t
+(** [time_to_transfer s r] is how long moving [s] at rate [r] takes. Raises
+    [Division_by_zero] when [r] is {!zero} and [s] is not. Transferring
+    {!Size.zero} takes {!Duration.zero} at any rate. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Clamped at {!zero}. *)
+
+val scale : float -> t -> t
+val ratio : t -> t -> float
+val min : t -> t -> t
+val max : t -> t -> t
+val sum : t list -> t
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,45 @@
+type t = float (* bytes *)
+
+let zero = 0.
+
+let bytes b =
+  if not (Float.is_finite b) || b < 0. then
+    invalid_arg "Size.bytes: negative or non-finite";
+  b
+
+let kib x = bytes (x *. 1024.)
+let mib x = bytes (x *. 1024. *. 1024.)
+let gib x = bytes (x *. 1024. *. 1024. *. 1024.)
+let tib x = bytes (x *. 1024. *. 1024. *. 1024. *. 1024.)
+let to_bytes t = t
+let to_kib t = t /. 1024.
+let to_mib t = t /. (1024. *. 1024.)
+let to_gib t = t /. (1024. *. 1024. *. 1024.)
+let to_tib t = t /. (1024. *. 1024. *. 1024. *. 1024.)
+let add a b = a +. b
+let sub a b = Float.max 0. (a -. b)
+
+let scale k t =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg "Size.scale: negative or non-finite factor";
+  k *. t
+
+let ratio num denom = if denom = 0. then raise Division_by_zero else num /. denom
+let min = Float.min
+let max = Float.max
+let sum = List.fold_left add zero
+let is_zero t = t = 0.
+let compare = Float.compare
+let equal = Float.equal
+let ( + ) = add
+let ( - ) = sub
+
+let pp ppf t =
+  let abs = t in
+  if abs >= 1024. ** 4. then Fmt.pf ppf "%.2f TiB" (to_tib t)
+  else if abs >= 1024. ** 3. then Fmt.pf ppf "%.2f GiB" (to_gib t)
+  else if abs >= 1024. ** 2. then Fmt.pf ppf "%.2f MiB" (to_mib t)
+  else if abs >= 1024. then Fmt.pf ppf "%.2f KiB" (to_kib t)
+  else Fmt.pf ppf "%.0f B" t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,1 @@
+lib/workload/batch_curve.ml: Array Duration Float Fmt List Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/workload/batch_curve.mli: Duration Fmt Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Duration Float List Prng Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Duration Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Float In_channel List Out_channel Printf Size Storage_units String Trace

@@ -1,0 +1,1 @@
+lib/workload/trace_io.mli: Storage_units Trace

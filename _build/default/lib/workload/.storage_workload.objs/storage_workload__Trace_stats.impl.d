@@ -1,0 +1,1 @@
+lib/workload/trace_stats.ml: Array Batch_curve Duration Float List Rate Size Stdlib Storage_units Trace Workload

@@ -1,0 +1,1 @@
+lib/workload/trace_stats.mli: Batch_curve Duration Rate Size Storage_units Trace Workload

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Batch_curve Fmt List Printf Rate Size Storage_units

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Batch_curve Duration Fmt Rate Size Storage_units

@@ -1,0 +1,104 @@
+open Storage_units
+
+type t = { points : (Duration.t * Rate.t) array }
+
+let of_samples samples =
+  if samples = [] then invalid_arg "Batch_curve.of_samples: empty sample list";
+  let sorted =
+    List.sort (fun (w1, _) (w2, _) -> Duration.compare w1 w2) samples
+  in
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | (w1, r1) :: ((w2, r2) :: _ as rest) ->
+      if Duration.equal w1 w2 then
+        invalid_arg "Batch_curve.of_samples: duplicate window";
+      let v1 = Size.to_bytes (Rate.over r1 w1)
+      and v2 = Size.to_bytes (Rate.over r2 w2) in
+      if v2 < v1 -. 1e-6 then
+        invalid_arg
+          "Batch_curve.of_samples: unique volume must be non-decreasing in \
+           the window";
+      check rest
+  in
+  List.iter
+    (fun (w, _) ->
+      if Duration.is_zero w then
+        invalid_arg "Batch_curve.of_samples: zero window")
+    sorted;
+  check sorted;
+  { points = Array.of_list sorted }
+
+let constant r = { points = [| (Duration.seconds 1., r) |] }
+let samples t = Array.to_list t.points
+
+(* Log-linear interpolation between bracketing samples; windows span minutes
+   to years, so interpolating in log-window space avoids giving the huge
+   windows all the weight. *)
+let rate t win =
+  if Duration.is_zero win then invalid_arg "Batch_curve.rate: zero window";
+  let n = Array.length t.points in
+  let w = Duration.to_seconds win in
+  let w0, r0 = t.points.(0) and wn, rn = t.points.(n - 1) in
+  if w <= Duration.to_seconds w0 then r0
+  else if w >= Duration.to_seconds wn then rn
+  else begin
+    let rec find i =
+      let wi, _ = t.points.(i + 1) in
+      if w <= Duration.to_seconds wi then i else find (i + 1)
+    in
+    let i = find 0 in
+    let wl, rl = t.points.(i) and wh, rh = t.points.(i + 1) in
+    let lwl = log (Duration.to_seconds wl)
+    and lwh = log (Duration.to_seconds wh) in
+    let frac = (log w -. lwl) /. (lwh -. lwl) in
+    let rlow = Rate.to_bytes_per_sec rl and rhigh = Rate.to_bytes_per_sec rh in
+    Rate.bytes_per_sec (rlow +. (frac *. (rhigh -. rlow)))
+  end
+
+let unique_bytes ?capacity t win =
+  if Duration.is_zero win then Size.zero
+  else begin
+    let raw = Rate.over (rate t win) win in
+    match capacity with None -> raw | Some cap -> Size.min raw cap
+  end
+
+let fit_power_law t =
+  let n = Array.length t.points in
+  if n < 2 then
+    invalid_arg "Batch_curve.fit_power_law: need at least two samples";
+  (* Ordinary least squares on log(rate) = log(a) - b * log(win). *)
+  let xs =
+    Array.map (fun (w, _) -> log (Duration.to_seconds w)) t.points
+  in
+  let ys =
+    Array.map (fun (_, r) -> log (Rate.to_bytes_per_sec r)) t.points
+  in
+  let nf = float_of_int n in
+  let mean a = Array.fold_left ( +. ) 0. a /. nf in
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  Array.iteri
+    (fun i x ->
+      sxy := !sxy +. ((x -. mx) *. (ys.(i) -. my));
+      sxx := !sxx +. ((x -. mx) ** 2.))
+    xs;
+  let slope = if !sxx = 0. then 0. else !sxy /. !sxx in
+  let b = -.slope in
+  let a = exp (my -. (slope *. mx)) in
+  (a, b)
+
+let extrapolate t win =
+  let n = Array.length t.points in
+  let wn, _ = t.points.(n - 1) in
+  if n < 2 || Duration.compare win wn <= 0 then rate t win
+  else begin
+    let a, b = fit_power_law t in
+    let predicted = a *. (Duration.to_seconds win ** -.b) in
+    let _, r0 = t.points.(0) in
+    Rate.bytes_per_sec
+      (Float.min (Rate.to_bytes_per_sec r0) (Float.max 0. predicted))
+  end
+
+let pp ppf t =
+  let pp_point ppf (w, r) = Fmt.pf ppf "%a: %a" Duration.pp w Rate.pp r in
+  Fmt.pf ppf "@[<h>%a@]" (Fmt.list ~sep:Fmt.semi pp_point) (samples t)

@@ -1,0 +1,53 @@
+open Storage_units
+
+(** The batch update rate curve [batchUpdR(win)].
+
+    The paper characterizes a workload's *unique* update rate as a function of
+    the batching window: over a window [win], overwrites coalesce, so the rate
+    of unique bytes written is at most the raw update rate and decreases as
+    the window grows (cello: 727 KB/s at 1 min down to 317 KB/s at 1 week).
+
+    A curve is a set of sampled [(window, rate)] points. Queries between
+    samples interpolate log-linearly in the window dimension; queries outside
+    the sampled range clamp to the nearest endpoint. The derived quantity
+    [unique_bytes] is additionally capped by the data capacity: a window can
+    never accumulate more unique bytes than the object holds. *)
+
+type t
+
+val of_samples : (Duration.t * Rate.t) list -> t
+(** Builds a curve from samples. Raises [Invalid_argument] if the list is
+    empty, contains a zero window, duplicates a window, or if the implied
+    unique-byte volume [rate * window] is not non-decreasing in the window
+    (a longer window cannot contain fewer unique bytes). *)
+
+val constant : Rate.t -> t
+(** A workload with no overwrite locality: unique rate independent of
+    window. *)
+
+val samples : t -> (Duration.t * Rate.t) list
+(** The defining samples, sorted by increasing window. *)
+
+val rate : t -> Duration.t -> Rate.t
+(** [rate t win] is the unique update rate for batching window [win].
+    [win] must be positive. *)
+
+val unique_bytes : ?capacity:Size.t -> t -> Duration.t -> Size.t
+(** [unique_bytes ?capacity t win] is [rate t win * win], capped at
+    [capacity] when provided. Returns {!Size.zero} for a zero window. *)
+
+val fit_power_law : t -> float * float
+(** Least-squares fit of [rate(win) = a · win^(-b)] in log-log space over
+    the samples, returned as [(a, b)] with [win] in seconds and [a] in
+    bytes/sec. Workload overwrite locality typically yields [b] in
+    [0, 1) (cello: ~0.09). Raises [Invalid_argument] on a single-sample
+    curve (nothing to fit). *)
+
+val extrapolate : t -> Duration.t -> Rate.t
+(** Like {!rate} inside the sampled range, but beyond the largest sample
+    follows the fitted power law instead of clamping — the paper's
+    future-work "increasing sophistication in the workload description".
+    Falls back to clamping for single-sample curves. The result never
+    exceeds the smallest-window sample rate. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float t =
+  (* 53 random bits into the mantissa. *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let float_range t lo hi =
+  if lo > hi then invalid_arg "Prng.float_range: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^64. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Prng.exponential: mean must be positive";
+  let u = 1. -. float t in
+  -.mean *. log u
+
+(* Zipf sampling by inversion of the continuous approximation to the harmonic
+   CDF (Gray et al., "Quickly generating billion-record synthetic databases",
+   SIGMOD 1994 idiom). Accurate enough for workload skew modeling. *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if s < 0. then invalid_arg "Prng.zipf: s must be non-negative";
+  if s = 0. then int t n
+  else if abs_float (s -. 1.) < 1e-9 then begin
+    let u = float t in
+    let hn = log (float_of_int n +. 1.) in
+    let x = exp (u *. hn) -. 1. in
+    Stdlib.min (n - 1) (int_of_float x)
+  end
+  else begin
+    let u = float t in
+    let e = 1. -. s in
+    let hn = (((float_of_int n +. 1.) ** e) -. 1.) /. e in
+    let x = (((u *. hn *. e) +. 1.) ** (1. /. e)) -. 1. in
+    Stdlib.min (n - 1) (Stdlib.max 0 (int_of_float x))
+  end
+
+let split t =
+  let seed = next_int64 t in
+  create ~seed:(Int64.logxor seed 0xDEADBEEFCAFEF00DL)

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained splitmix64 generator so that trace generation and the
+    simulator are reproducible across OCaml versions and independent of the
+    global [Random] state. *)
+
+type t
+
+val create : seed:int64 -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Uniform over all 64-bit values. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [[lo, hi)]. Requires [lo <= hi]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n)]. Requires [n > 0]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. Requires [mean > 0]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** A sample in [[0, n)] from a Zipf distribution with exponent [s],
+    drawn by inversion on the harmonic CDF approximation. Requires [n > 0]
+    and [s >= 0]. *)
+
+val split : t -> t
+(** A statistically independent child generator. *)

@@ -1,0 +1,119 @@
+open Storage_units
+
+type t = {
+  block_size : Size.t;
+  block_count : int;
+  times : float array;
+  blocks : int array;
+}
+
+let event_count t = Array.length t.times
+
+let duration t =
+  let n = Array.length t.times in
+  if n = 0 then Duration.zero else Duration.seconds t.times.(n - 1)
+
+let total_bytes t = Size.scale (float_of_int (event_count t)) t.block_size
+
+type profile = {
+  block_size : Size.t;
+  block_count : int;
+  mean_update_rate : Rate.t;
+  zipf_exponent : float;
+  burst_multiplier : float;
+  burst_fraction : float;
+  mean_phase_length : Duration.t;
+}
+
+let default_profile =
+  {
+    block_size = Size.kib 64.;
+    block_count = 16384;
+    mean_update_rate = Rate.kib_per_sec 800.;
+    zipf_exponent = 0.9;
+    burst_multiplier = 10.;
+    burst_fraction = 0.05;
+    mean_phase_length = Duration.minutes 2.;
+  }
+
+let validate_profile p =
+  if p.block_count <= 0 then invalid_arg "Trace.generate: block_count <= 0";
+  if Size.is_zero p.block_size then invalid_arg "Trace.generate: zero block size";
+  if Rate.is_zero p.mean_update_rate then
+    invalid_arg "Trace.generate: zero update rate";
+  if p.zipf_exponent < 0. then invalid_arg "Trace.generate: negative zipf";
+  if p.burst_multiplier < 1. then
+    invalid_arg "Trace.generate: burst multiplier below 1";
+  if p.burst_fraction <= 0. || p.burst_fraction > 1. then
+    invalid_arg "Trace.generate: burst fraction outside (0, 1]";
+  if Duration.is_zero p.mean_phase_length then
+    invalid_arg "Trace.generate: zero phase length"
+
+(* The two arrival rates are chosen so that
+     burst_fraction * hi + (1 - burst_fraction) * lo = mean
+     hi = burst_multiplier * mean
+   which pins down lo (clamped at 0 when bursts carry more than the mean). *)
+let phase_rates p =
+  let mean =
+    Rate.to_bytes_per_sec p.mean_update_rate /. Size.to_bytes p.block_size
+  in
+  let hi = p.burst_multiplier *. mean in
+  let lo =
+    Float.max 0. ((mean -. (p.burst_fraction *. hi)) /. (1. -. p.burst_fraction))
+  in
+  (hi, lo)
+
+let generate ?(seed = 0x5EEDL) p span =
+  validate_profile p;
+  let hi, lo = phase_rates p in
+  let rng = Prng.create ~seed in
+  let horizon = Duration.to_seconds span in
+  let times = ref [] and blocks = ref [] and count = ref 0 in
+  let now = ref 0. in
+  (* Alternate burst / quiet phases; phase dwell times are exponential with
+     means proportional to the requested time fractions. *)
+  let mean_phase = Duration.to_seconds p.mean_phase_length in
+  let burst_mean = mean_phase *. p.burst_fraction /. 0.5
+  and quiet_mean = mean_phase *. (1. -. p.burst_fraction) /. 0.5 in
+  let in_burst = ref false in
+  let phase_end = ref 0. in
+  while !now < horizon do
+    if !now >= !phase_end then begin
+      in_burst := not !in_burst;
+      let mean = if !in_burst then burst_mean else quiet_mean in
+      phase_end := !now +. Prng.exponential rng ~mean
+    end;
+    let rate = if !in_burst then hi else lo in
+    if rate <= 0. then now := !phase_end
+    else begin
+      let gap = Prng.exponential rng ~mean:(1. /. rate) in
+      now := !now +. gap;
+      if !now < horizon && !now < !phase_end then begin
+        let b = Prng.zipf rng ~n:p.block_count ~s:p.zipf_exponent in
+        times := !now :: !times;
+        blocks := b :: !blocks;
+        incr count
+      end
+      else if !now >= !phase_end then now := !phase_end
+    end
+  done;
+  let times = Array.of_list (List.rev !times)
+  and blocks = Array.of_list (List.rev !blocks) in
+  { block_size = p.block_size; block_count = p.block_count; times; blocks }
+
+let of_events ~block_size ~block_count events =
+  if block_count <= 0 then invalid_arg "Trace.of_events: block_count <= 0";
+  List.iter
+    (fun (time, block) ->
+      if block < 0 || block >= block_count then
+        invalid_arg "Trace.of_events: block index out of range";
+      if time < 0. || not (Float.is_finite time) then
+        invalid_arg "Trace.of_events: invalid event time")
+    events;
+  let sorted = List.sort (fun (t1, _) (t2, _) -> Float.compare t1 t2) events in
+  {
+    block_size;
+    block_count;
+    times = Array.of_list (List.map fst sorted);
+    blocks = Array.of_list (List.map snd sorted);
+  }

@@ -1,0 +1,55 @@
+open Storage_units
+
+(** Synthetic block-level update traces.
+
+    The paper derives its workload parameters (Table 2) from a measured trace
+    of the [cello] workgroup file server, which is not publicly available. We
+    substitute a synthetic generator exercising the same analysis pipeline:
+    update arrivals follow a two-phase modulated Poisson process (quiet /
+    burst), and updated blocks are drawn from a Zipf popularity distribution,
+    which produces the overwrite locality that makes [batchUpdR] decrease
+    with window size. *)
+
+type t = private {
+  block_size : Size.t;
+  block_count : int;
+  times : float array;  (** event times, seconds, non-decreasing *)
+  blocks : int array;  (** updated block index per event *)
+}
+
+val event_count : t -> int
+
+val duration : t -> Duration.t
+(** Time of the last event (zero for an empty trace). *)
+
+val total_bytes : t -> Size.t
+(** Raw (non-unique) bytes written: [event_count * block_size]. *)
+
+type profile = {
+  block_size : Size.t;
+  block_count : int;  (** object size = [block_count * block_size] *)
+  mean_update_rate : Rate.t;  (** long-run average raw update rate *)
+  zipf_exponent : float;
+      (** skew of block popularity; 0 = uniform, ~1 = heavy overwrite
+          locality *)
+  burst_multiplier : float;
+      (** peak-to-mean arrival rate ratio during bursts; >= 1 *)
+  burst_fraction : float;
+      (** fraction of time spent in the burst phase, in (0, 1] *)
+  mean_phase_length : Duration.t;  (** mean dwell time in each phase *)
+}
+
+val default_profile : profile
+(** A cello-like profile: 1 GiB object of 64 KiB blocks, ~800 KiB/s updates,
+    Zipf 0.9, 10x bursts 5% of the time. *)
+
+val generate : ?seed:int64 -> profile -> Duration.t -> t
+(** [generate ~seed profile span] produces a trace covering [span].
+    Deterministic for a given seed. Raises [Invalid_argument] on a
+    non-positive block count, block size, or rate, or invalid burst/zipf
+    parameters. *)
+
+val of_events :
+  block_size:Size.t -> block_count:int -> (float * int) list -> t
+(** Builds a trace from explicit [(time, block)] events (for tests). Events
+    are sorted by time; block indices must be in range. *)

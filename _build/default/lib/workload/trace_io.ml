@@ -1,0 +1,174 @@
+open Storage_units
+
+let magic = "# ssdep-trace"
+
+let save_csv (t : Trace.t) ~path =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Printf.fprintf oc "%s block_size_bytes=%.0f block_count=%d\n" magic
+          (Size.to_bytes t.Trace.block_size)
+          t.Trace.block_count;
+        output_string oc "time_s,block\n";
+        Array.iteri
+          (fun i time ->
+            Printf.fprintf oc "%.6f,%d\n" time t.Trace.blocks.(i))
+          t.Trace.times)
+  with
+  | () -> Ok ()
+  | exception Sys_error m -> Error m
+
+let parse_header line =
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  if not (starts_with magic line) then
+    Error "not an ssdep trace (missing header)"
+  else begin
+    let kvs =
+      String.split_on_char ' ' line
+      |> List.filter_map (fun tok ->
+             match String.index_opt tok '=' with
+             | None -> None
+             | Some i ->
+               Some
+                 ( String.sub tok 0 i,
+                   String.sub tok (i + 1) (String.length tok - i - 1) ))
+    in
+    match
+      (List.assoc_opt "block_size_bytes" kvs, List.assoc_opt "block_count" kvs)
+    with
+    | Some bs, Some bc -> (
+      match (float_of_string_opt bs, int_of_string_opt bc) with
+      | Some bs, Some bc when bs > 0. && bc > 0 -> Ok (Size.bytes bs, bc)
+      | _ -> Error "malformed trace header values")
+    | _ -> Error "trace header missing block_size_bytes/block_count"
+  end
+
+let import_text ~block_size ~data_capacity ~path =
+  let bs = Size.to_bytes block_size in
+  let cap = Size.to_bytes data_capacity in
+  if bs <= 0. then Error "import_text: non-positive block size"
+  else if cap < bs then Error "import_text: capacity below one block"
+  else begin
+    let block_count = int_of_float (Float.max 1. (floor (cap /. bs))) in
+    match
+      In_channel.with_open_text path (fun ic ->
+          let events = ref [] in
+          let lineno = ref 0 in
+          let error = ref None in
+          (try
+             while !error = None do
+               match In_channel.input_line ic with
+               | None -> raise Exit
+               | Some line ->
+                 incr lineno;
+                 let line = String.trim line in
+                 if line = "" || line.[0] = '#' then ()
+                 else begin
+                   let fields =
+                     String.split_on_char ' ' line
+                     |> List.concat_map (String.split_on_char '\t')
+                     |> List.filter (fun f -> f <> "")
+                   in
+                   match fields with
+                   | [ time; op; offset; length ] -> (
+                     match
+                       ( float_of_string_opt time,
+                         String.uppercase_ascii op,
+                         float_of_string_opt offset,
+                         float_of_string_opt length )
+                     with
+                     | Some time, ("R" | "READ"), _, _ when time >= 0. -> ()
+                     | Some time, ("W" | "WRITE"), Some off, Some len
+                       when time >= 0. && off >= 0. && len > 0. ->
+                       (* One event per touched block; wrap very large
+                          offsets onto the object. *)
+                       let first = int_of_float (floor (off /. bs)) in
+                       let last =
+                         int_of_float (floor ((off +. len -. 1.) /. bs))
+                       in
+                       for b = first to last do
+                         events :=
+                           (time, b mod block_count) :: !events
+                       done
+                     | _ ->
+                       error :=
+                         Some
+                           (Printf.sprintf "line %d: malformed trace record"
+                              !lineno))
+                   | _ ->
+                     error :=
+                       Some
+                         (Printf.sprintf
+                            "line %d: expected \"time op offset length\""
+                            !lineno)
+                 end
+             done
+           with Exit -> ());
+          match !error with
+          | Some e -> Error e
+          | None -> (
+            match
+              Trace.of_events ~block_size ~block_count (List.rev !events)
+            with
+            | t -> Ok t
+            | exception Invalid_argument m -> Error m))
+    with
+    | result -> result
+    | exception Sys_error m -> Error m
+  end
+
+let load_csv ~path =
+  match
+    In_channel.with_open_text path (fun ic ->
+        let header = In_channel.input_line ic in
+        match header with
+        | None -> Error "empty trace file"
+        | Some header -> (
+          match parse_header header with
+          | Error _ as e -> e
+          | Ok (block_size, block_count) -> (
+            let events = ref [] in
+            let lineno = ref 1 in
+            let error = ref None in
+            (try
+               while !error = None do
+                 match In_channel.input_line ic with
+                 | None -> raise Exit
+                 | Some line ->
+                   incr lineno;
+                   let line = String.trim line in
+                   if line = "" || line = "time_s,block" then ()
+                   else begin
+                     match String.index_opt line ',' with
+                     | None ->
+                       error := Some (Printf.sprintf "line %d: expected time,block" !lineno)
+                     | Some i -> (
+                       let time = float_of_string_opt (String.sub line 0 i) in
+                       let block =
+                         int_of_string_opt
+                           (String.sub line (i + 1) (String.length line - i - 1))
+                       in
+                       match (time, block) with
+                       | Some time, Some block
+                         when time >= 0. && block >= 0 && block < block_count
+                         ->
+                         events := (time, block) :: !events
+                       | _ ->
+                         error :=
+                           Some (Printf.sprintf "line %d: malformed event" !lineno))
+                   end
+               done
+             with Exit -> ());
+            match !error with
+            | Some e -> Error e
+            | None -> (
+              match
+                Trace.of_events ~block_size ~block_count (List.rev !events)
+              with
+              | t -> Ok t
+              | exception Invalid_argument m -> Error m))))
+  with
+  | result -> result
+  | exception Sys_error m -> Error m

@@ -1,0 +1,35 @@
+(** Trace persistence.
+
+    Traces are stored as CSV with a metadata header line, so they can be
+    produced once (or converted from external block-trace formats) and
+    re-characterized without regeneration:
+
+    {v
+    # ssdep-trace block_size_bytes=65536 block_count=16384
+    time_s,block
+    0.125,42
+    0.300,17
+    v} *)
+
+val save_csv : Trace.t -> path:string -> (unit, string) result
+val load_csv : path:string -> (Trace.t, string) result
+(** Errors carry the offending line number; events are re-sorted by time
+    on load. *)
+
+val import_text :
+  block_size:Storage_units.Size.t ->
+  data_capacity:Storage_units.Size.t ->
+  path:string ->
+  (Trace.t, string) result
+(** Imports an external block-trace in the common whitespace-separated
+    text form many replay tools emit:
+
+    {v
+    <time_s> <R|W> <offset_bytes> <length_bytes>
+    v}
+
+    Reads (and [#] comment lines) are skipped; each write is quantized
+    onto [block_size] blocks covering its byte range (one event per
+    touched block, so overwrite coalescing measures correctly), with
+    offsets wrapped modulo [data_capacity]. Errors carry the line
+    number. *)

@@ -1,0 +1,60 @@
+open Storage_units
+
+type t = {
+  name : string;
+  data_capacity : Size.t;
+  avg_access_rate : Rate.t;
+  avg_update_rate : Rate.t;
+  burst_multiplier : float;
+  batch_curve : Batch_curve.t;
+}
+
+let make ~name ~data_capacity ~avg_access_rate ~avg_update_rate
+    ~burst_multiplier ~batch_curve =
+  if Size.is_zero data_capacity then
+    invalid_arg "Workload.make: zero data capacity";
+  if Rate.compare avg_update_rate avg_access_rate > 0 then
+    invalid_arg "Workload.make: update rate exceeds access rate";
+  if burst_multiplier < 1. then
+    invalid_arg "Workload.make: burst multiplier below 1";
+  {
+    name;
+    data_capacity;
+    avg_access_rate;
+    avg_update_rate;
+    burst_multiplier;
+    batch_curve;
+  }
+
+let peak_update_rate t = Rate.scale t.burst_multiplier t.avg_update_rate
+let batch_update_rate t win = Batch_curve.rate t.batch_curve win
+
+let unique_bytes t win =
+  Batch_curve.unique_bytes ~capacity:t.data_capacity t.batch_curve win
+
+let grow t ~factor =
+  if factor <= 0. then invalid_arg "Workload.grow: non-positive factor";
+  let scale_curve curve =
+    Batch_curve.samples curve
+    |> List.map (fun (win, rate) -> (win, Rate.scale factor rate))
+    |> Batch_curve.of_samples
+  in
+  {
+    t with
+    name = Printf.sprintf "%s (x%.2g)" t.name factor;
+    data_capacity = Size.scale factor t.data_capacity;
+    avg_access_rate = Rate.scale factor t.avg_access_rate;
+    avg_update_rate = Rate.scale factor t.avg_update_rate;
+    batch_curve = scale_curve t.batch_curve;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>workload %s:@,\
+    \  dataCap     = %a@,\
+    \  avgAccessR  = %a@,\
+    \  avgUpdateR  = %a@,\
+    \  burstM      = %.1fx@,\
+    \  batchUpdR   = %a@]"
+    t.name Size.pp t.data_capacity Rate.pp t.avg_access_rate Rate.pp
+    t.avg_update_rate t.burst_multiplier Batch_curve.pp t.batch_curve

@@ -1,0 +1,47 @@
+open Storage_units
+
+(** Workload description (Table 1, "Model inputs: workload").
+
+    A workload summarizes the I/O behaviour of a single data object: its
+    size, total access rate, raw (non-unique) update rate, burstiness, and
+    the batching curve of unique update rates. *)
+
+type t = private {
+  name : string;
+  data_capacity : Size.t;  (** [dataCap]: size of the protected object. *)
+  avg_access_rate : Rate.t;
+      (** [avgAccessR]: combined read+write client rate. *)
+  avg_update_rate : Rate.t;  (** [avgUpdateR]: raw (non-unique) write rate. *)
+  burst_multiplier : float;
+      (** [burstM]: ratio of peak update rate to average update rate. *)
+  batch_curve : Batch_curve.t;  (** [batchUpdR(win)]. *)
+}
+
+val make :
+  name:string ->
+  data_capacity:Size.t ->
+  avg_access_rate:Rate.t ->
+  avg_update_rate:Rate.t ->
+  burst_multiplier:float ->
+  batch_curve:Batch_curve.t ->
+  t
+(** Raises [Invalid_argument] when [data_capacity] is zero, the update rate
+    exceeds the access rate, or [burst_multiplier < 1]. *)
+
+val peak_update_rate : t -> Rate.t
+(** [burstM * avgUpdateR]: the rate a synchronous mirror link must sustain. *)
+
+val batch_update_rate : t -> Duration.t -> Rate.t
+(** [batchUpdR(win)]: unique update rate over the given window. *)
+
+val unique_bytes : t -> Duration.t -> Size.t
+(** Unique bytes written over a window, capped at the data capacity. *)
+
+val grow : t -> factor:float -> t
+(** The workload scaled by a uniform growth factor: capacity, access and
+    update rates, and the unique-update curve all multiply by [factor]
+    (burstiness is shape, not volume, and is unchanged). Used for
+    capacity-planning sweeps: "which year does this design stop
+    fitting?". Raises [Invalid_argument] when [factor <= 0]. *)
+
+val pp : t Fmt.t

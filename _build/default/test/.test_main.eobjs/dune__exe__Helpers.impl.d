@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Duration Float Money QCheck QCheck_alcotest Rate Size Storage_units

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Cost_model Demand Device Duration Float Helpers Interconnect List Location Money Option QCheck Rate Size Spare Storage_device Storage_units

@@ -1,0 +1,1 @@
+test/test_protection.ml: Alcotest Demand Demands Duration Helpers QCheck Raid Rate Schedule Size Storage_device Storage_presets Storage_protection Storage_units Storage_workload Technique

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Duration Float Helpers Json List Metric Money Size Storage_model Storage_presets Storage_report Storage_units String Table

@@ -1,0 +1,1 @@
+test/test_units.ml: Age_range Alcotest Duration Float Helpers Money Money_rate QCheck Rate Size Storage_units

@@ -1,0 +1,3 @@
+  $ ssdep explain -d baseline -s site | grep bottleneck
+  $ ssdep risk -d baseline --object-per-year 12 | tail -1
+  $ ssdep degraded -d baseline -s array --level 2 --outage 168

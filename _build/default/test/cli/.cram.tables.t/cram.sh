@@ -1,0 +1,2 @@
+  $ ssdep tables --only table6
+  $ ssdep tables --only table99

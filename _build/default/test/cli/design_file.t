@@ -1,0 +1,53 @@
+A self-contained design file parses, validates and evaluates:
+
+  $ cat > tiny.ssdep <<'DESIGN'
+  > [workload]
+  > name = tiny
+  > data_capacity = 100 GiB
+  > avg_access_rate = 1 MiB/s
+  > avg_update_rate = 500 KiB/s
+  > burst_multiplier = 4
+  > batch = 1min: 400 KiB/s, 12hr: 200 KiB/s
+  > 
+  > [device box]
+  > location = r/s/b
+  > capacity_slots = 16 x 100 GiB
+  > bandwidth_slots = 8 x 50 MiB/s
+  > enclosure_bandwidth = 300 MiB/s
+  > spare = dedicated 1min
+  > 
+  > [level 0]
+  > technique = primary
+  > device = box
+  > raid = raid1
+  > 
+  > [level 1]
+  > technique = split_mirror
+  > device = box
+  > acc = 12hr
+  > retention = 2
+  > 
+  > [business]
+  > outage_penalty = $1k/hr
+  > loss_penalty = $1k/hr
+  > 
+  > [scenario oops]
+  > scope = object
+  > target_age = 14hr
+  > object_size = 1 MiB
+  > DESIGN
+
+  $ ssdep check tiny.ssdep | tail -2
+  scenario: oops
+  design OK
+
+  $ ssdep evaluate --file tiny.ssdep | grep loss
+  loss entire object
+  penalties: outage $0 + loss $26.28M = $26.28M
+
+Malformed files are rejected with the offending location:
+
+  $ echo 'orphan = 1' > broken.ssdep
+  $ ssdep check broken.ssdep
+  ssdep: line 1: key "orphan" outside any section
+  [124]

@@ -1,0 +1,15 @@
+The explain command names recovery bottlenecks:
+
+  $ ssdep explain -d baseline -s site | grep bottleneck
+      bottleneck: media transit.
+      bottleneck: data transfer.
+
+Risk weighting composes per-incident penalties with frequencies:
+
+  $ ssdep risk -d baseline --object-per-year 12 | tail -1
+    outlays $1.16M + expected penalties $10.11M = $11.28M per year
+
+Degraded-mode evaluation quantifies outage exposure:
+
+  $ ssdep degraded -d baseline -s array --level 2 --outage 168
+  level 2 down for 7.0 d: loss 2.3 wk (healthy 9.0 d, +7.0 d), RT 1.7 hr

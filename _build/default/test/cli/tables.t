@@ -1,0 +1,15 @@
+The paper's Table 6 regenerates from the models:
+
+  $ ssdep tables --only table6
+  Table 6: worst case recovery time and data loss (baseline)
+  Failure scope      Recovery source  Recovery time  Recent data loss
+  -----------------  ---------------  -------------  ----------------
+  data object        split mirror     0.004 s        12.0 hr
+  device disk-array  backup           1.7 hr         217.0 hr
+  site primary       vaulting         25.7 hr        1429.0 hr
+
+Unknown artifacts are rejected:
+
+  $ ssdep tables --only table99
+  ssdep: unknown artifact "table99"
+  [124]

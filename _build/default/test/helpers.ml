@@ -1,0 +1,35 @@
+(* Shared test helpers: approximate comparisons for dimensioned values and
+   qcheck-to-alcotest registration. *)
+
+open Storage_units
+
+let close ?(tol = 1e-9) msg expected actual =
+  let ok =
+    if expected = 0. then Float.abs actual <= tol
+    else Float.abs (actual -. expected) /. Float.abs expected <= tol
+  in
+  if not ok then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+let close_duration ?tol msg expected actual =
+  close ?tol msg (Duration.to_seconds expected) (Duration.to_seconds actual)
+
+let close_size ?tol msg expected actual =
+  close ?tol msg (Size.to_bytes expected) (Size.to_bytes actual)
+
+let close_rate ?tol msg expected actual =
+  close ?tol msg (Rate.to_bytes_per_sec expected) (Rate.to_bytes_per_sec actual)
+
+let close_money ?tol msg expected actual =
+  close ?tol msg (Money.to_usd expected) (Money.to_usd actual)
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Positive, not-too-extreme floats for dimensioned quantities: keeps
+   products and quotients finite and comparisons meaningful. *)
+let arb_pos ?(lo = 1e-3) ?(hi = 1e9) () = QCheck.float_range lo hi

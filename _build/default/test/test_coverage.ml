@@ -1,0 +1,279 @@
+(* Coverage expansion: behaviours not exercised by the per-module suites —
+   differential incrementals, multi-node flow chains, cost-allocation
+   details, candidate lists, portfolio evaluation and upstream lag with
+   mixed-representation cycles. *)
+
+open Storage_units
+open Storage_device
+open Storage_protection
+open Storage_hierarchy
+open Storage_model
+open Storage_presets
+open Helpers
+
+let cello = Cello.workload
+
+(* --- differential incrementals --- *)
+
+let differential_schedule =
+  Schedule.make
+    ~full:
+      (Schedule.windows ~acc:(Duration.hours 48.) ~prop:(Duration.hours 24.)
+         ~hold:(Duration.hours 1.) ())
+    ~secondary:
+      ( Schedule.Differential,
+        Schedule.windows ~acc:(Duration.hours 24.) ~prop:(Duration.hours 6.)
+          ~hold:(Duration.hours 1.) () )
+    ~cycle_count:5 ~retention_count:4 ()
+
+let test_differential_sizes () =
+  (* Differentials cover one window each, so they do not grow with the
+     index the way cumulatives do. *)
+  let s1 = Demands.incremental_size cello differential_schedule ~index:1 in
+  let s5 = Demands.incremental_size cello differential_schedule ~index:5 in
+  close_size "constant size" s1 s5;
+  (* A differential of one day equals the unique bytes of one day. *)
+  close_size "one day of uniques"
+    (Storage_workload.Workload.unique_bytes cello (Duration.hours 24.))
+    s1
+
+let test_differential_vs_cumulative_capacity () =
+  let cumulative =
+    Schedule.make
+      ~full:
+        (Schedule.windows ~acc:(Duration.hours 48.) ~prop:(Duration.hours 24.)
+           ~hold:(Duration.hours 1.) ())
+      ~secondary:
+        ( Schedule.Cumulative,
+          Schedule.windows ~acc:(Duration.hours 24.) ~prop:(Duration.hours 6.)
+            ~hold:(Duration.hours 1.) () )
+      ~cycle_count:5 ~retention_count:4 ()
+  in
+  let cap s =
+    Size.to_bytes
+      (Demands.of_technique ~workload:cello (Technique.Backup s))
+        .Demands.on_target.Demand.capacity
+  in
+  Alcotest.(check bool) "differential cycles are smaller" true
+    (cap differential_schedule < cap cumulative)
+
+let test_differential_recovery_size () =
+  (* Worst-case differential restore applies the full plus the last
+     differential in our model (the chain detail is below the model's
+     resolution; the largest single increment bounds the added size). *)
+  let r =
+    Demands.recovery_size ~workload:cello
+      (Technique.Backup differential_schedule)
+  in
+  Alcotest.(check bool) "larger than a bare full" true
+    (Size.compare r (Size.gib 1360.) > 0)
+
+(* --- flow net: chains and accounting --- *)
+
+let test_flow_chain_bottleneck () =
+  let open Storage_sim in
+  let net = Flow_net.create () in
+  let a = Flow_net.add_node net ~name:"a" ~capacity:100. in
+  let b = Flow_net.add_node net ~name:"b" ~capacity:10. in
+  let c = Flow_net.add_node net ~name:"c" ~capacity:50. in
+  let f =
+    Flow_net.add_flow net ~through:[ (a, 1); (b, 1); (c, 1) ] ~bytes:100. ()
+  in
+  close "chain bottleneck" 10. (Flow_net.rate net f);
+  (* A second flow avoiding the bottleneck gets the leftovers of a/c. *)
+  let g = Flow_net.add_flow net ~through:[ (a, 1); (c, 1) ] ~bytes:100. () in
+  close "first still bottlenecked" 10. (Flow_net.rate net f);
+  close "second takes the rest of c" 40. (Flow_net.rate net g)
+
+let test_flow_node_accounting () =
+  let open Storage_sim in
+  let net = Flow_net.create () in
+  let a = Flow_net.add_node net ~name:"a" ~capacity:100. in
+  let f = Flow_net.add_flow net ~through:[ (a, 2) ] ~bytes:100. () in
+  ignore (Flow_net.advance net 1.);
+  (* rate 50, multiplicity 2: the node carried 100 bytes in 1 s. *)
+  close "double-counted by multiplicity" 100. (Flow_net.node_bytes net a);
+  ignore f
+
+let test_flow_cancel_releases_bandwidth () =
+  let open Storage_sim in
+  let net = Flow_net.create () in
+  let a = Flow_net.add_node net ~name:"a" ~capacity:90. in
+  let f1 = Flow_net.add_flow net ~through:[ (a, 1) ] ~bytes:1000. () in
+  let f2 = Flow_net.add_flow net ~through:[ (a, 1) ] ~bytes:1000. () in
+  let f3 = Flow_net.add_flow net ~through:[ (a, 1) ] ~bytes:1000. () in
+  close "three-way split" 30. (Flow_net.rate net f2);
+  Flow_net.cancel net f1;
+  Flow_net.cancel net f1 (* idempotent *);
+  close "two-way split" 45. (Flow_net.rate net f3);
+  close "cancelled flow has no rate" 0. (Flow_net.rate net f1)
+
+(* --- cost allocation details --- *)
+
+let test_cost_secondary_pays_no_fixed () =
+  let outlays = Cost.outlays Baseline.design in
+  (* The split mirror shares the array with the foreground copy: its items
+     must not include the array's fixed cost. *)
+  List.iter
+    (fun (item : Cost.item) ->
+      if
+        item.Cost.technique = "split mirror"
+        && String.length item.Cost.component >= 16
+        && String.sub item.Cost.component 0 16 = "disk-array fixed"
+      then Alcotest.fail "secondary technique charged a fixed cost")
+    outlays.Cost.items;
+  (* The foreground copy pays it exactly once (plus spare multiples). *)
+  let fg_fixed =
+    List.filter
+      (fun (item : Cost.item) ->
+        item.Cost.technique = "foreground"
+        && item.Cost.component = "disk-array fixed")
+      outlays.Cost.items
+  in
+  Alcotest.(check int) "one fixed charge" 1 (List.length fg_fixed)
+
+let test_cost_spare_items_scale () =
+  let outlays = Cost.outlays Baseline.design in
+  let find component =
+    List.find_opt (fun (i : Cost.item) -> i.Cost.component = component)
+      outlays.Cost.items
+  in
+  match
+    (find "disk-array fixed", find "disk-array fixed spare",
+     find "disk-array fixed remote spare")
+  with
+  | Some base, Some spare, Some remote ->
+    close_money "dedicated spare at par" base.Cost.amount spare.Cost.amount;
+    close_money "shared facility at 20%"
+      (Money.scale 0.2 base.Cost.amount)
+      remote.Cost.amount
+  | _ -> Alcotest.fail "expected fixed, spare and remote-spare items"
+
+(* --- data-loss candidate lists --- *)
+
+let test_candidates_reported () =
+  let dl = Data_loss.compute Baseline.design Baseline.scenario_object in
+  (* All three secondary levels are candidates for an object rollback. *)
+  Alcotest.(check (list int)) "candidate levels" [ 1; 2; 3 ]
+    (List.map fst dl.Data_loss.candidates);
+  (* And their losses are ordered best-first by level here. *)
+  match List.map snd dl.Data_loss.candidates with
+  | [ Data_loss.Updates a; Data_loss.Updates b; Data_loss.Updates c ] ->
+    Alcotest.(check bool) "mirror best" true
+      (Duration.compare a b < 0 && Duration.compare b c < 0)
+  | _ -> Alcotest.fail "all three levels can serve"
+
+(* --- portfolio evaluation --- *)
+
+let small_tenant =
+  let workload =
+    Storage_workload.Workload.make ~name:"scratch"
+      ~data_capacity:(Size.gib 100.)
+      ~avg_access_rate:(Rate.kib_per_sec 200.)
+      ~avg_update_rate:(Rate.kib_per_sec 100.) ~burst_multiplier:4.
+      ~batch_curve:
+        (Storage_workload.Batch_curve.constant (Rate.kib_per_sec 80.))
+  in
+  let hierarchy =
+    Hierarchy.make_exn
+      [
+        {
+          Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+          device = Baseline.disk_array;
+          link = None;
+        };
+        {
+          technique =
+            Technique.Backup
+              (Schedule.simple ~acc:(Duration.weeks 1.)
+                 ~prop:(Duration.hours 12.) ~retention_count:4 ());
+          device = Baseline.tape_library;
+          link = Some Baseline.san;
+        };
+      ]
+  in
+  Design.make ~name:"scratch" ~workload ~hierarchy ~business:Baseline.business
+    ()
+
+let test_portfolio_evaluate_lists_members () =
+  let p = Portfolio.make_exn [ Baseline.design; small_tenant ] in
+  let results = Portfolio.evaluate p Baseline.scenario_site in
+  Alcotest.(check (list string)) "member order" [ "baseline"; "scratch" ]
+    (List.map fst results);
+  List.iter
+    (fun (_, (r : Evaluate.report)) ->
+      Alcotest.(check (list string)) "no errors" [] r.Evaluate.errors)
+    results
+
+(* --- upstream lag with mixed-representation cycles --- *)
+
+let test_upstream_lag_uses_full_windows () =
+  (* When the backup level mixes fulls and incrementals, only fulls are
+     vaulted: the vault's upstream lag uses the full's hold + prop. *)
+  let hierarchy =
+    Hierarchy.make_exn
+      [
+        {
+          Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+          device = Baseline.disk_array;
+          link = None;
+        };
+        {
+          technique = Technique.Backup differential_schedule;
+          device = Baseline.tape_library;
+          link = Some Baseline.san;
+        };
+        {
+          technique =
+            Technique.Vaulting
+              (Schedule.simple ~acc:(Duration.weeks 1.)
+                 ~prop:(Duration.hours 24.) ~hold:(Duration.hours 12.)
+                 ~retention_count:156 ());
+          device = Baseline.vault;
+          link = Some Baseline.air_shipment;
+        };
+      ]
+  in
+  (* full hold 1 hr + full prop 24 hr = 25 hr, not the differential's
+     1 + 6. *)
+  close_duration "upstream from fulls" (Duration.hours 25.)
+    (Hierarchy.upstream_lag hierarchy 2)
+
+(* --- evaluate ordering --- *)
+
+let test_run_all_preserves_order () =
+  let reports = Evaluate.run_all Baseline.design Baseline.scenarios in
+  Alcotest.(check int) "three reports" 3 (List.length reports);
+  List.iter2
+    (fun (r : Evaluate.report) scenario ->
+      Alcotest.(check string) "same scope"
+        (Location.scope_name scenario.Scenario.scope)
+        (Location.scope_name r.Evaluate.scenario.Scenario.scope))
+    reports Baseline.scenarios
+
+let suite =
+  [
+    ( "coverage",
+      [
+        Alcotest.test_case "differential incremental sizes" `Quick
+          test_differential_sizes;
+        Alcotest.test_case "differential vs cumulative capacity" `Quick
+          test_differential_vs_cumulative_capacity;
+        Alcotest.test_case "differential recovery size" `Quick
+          test_differential_recovery_size;
+        Alcotest.test_case "flow chains" `Quick test_flow_chain_bottleneck;
+        Alcotest.test_case "flow node accounting" `Quick test_flow_node_accounting;
+        Alcotest.test_case "flow cancellation" `Quick
+          test_flow_cancel_releases_bandwidth;
+        Alcotest.test_case "secondary pays no fixed cost" `Quick
+          test_cost_secondary_pays_no_fixed;
+        Alcotest.test_case "spare cost scaling" `Quick test_cost_spare_items_scale;
+        Alcotest.test_case "loss candidates reported" `Quick
+          test_candidates_reported;
+        Alcotest.test_case "portfolio evaluation" `Quick
+          test_portfolio_evaluate_lists_members;
+        Alcotest.test_case "upstream lag uses full windows" `Quick
+          test_upstream_lag_uses_full_windows;
+        Alcotest.test_case "run_all ordering" `Quick test_run_all_preserves_order;
+      ] );
+  ]

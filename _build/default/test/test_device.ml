@@ -1,0 +1,298 @@
+(* Tests for the device library: locations and failure scopes, demands,
+   cost models, spares, storage devices and interconnects. *)
+
+open Storage_units
+open Storage_device
+open Helpers
+
+let site_a = Location.make ~building:"b1" ~site:"s1" ~region:"r1"
+let site_b = Location.make ~building:"b2" ~site:"s2" ~region:"r1"
+
+(* --- Location / scope --- *)
+
+let test_scope_destroys () =
+  let check scope device loc expected =
+    Alcotest.(check bool)
+      (Location.scope_name scope)
+      expected
+      (Location.destroys scope ~device_name:device loc)
+  in
+  check Location.Data_object "array" site_a false;
+  check (Location.Device "array") "array" site_a true;
+  check (Location.Device "array") "tape" site_a false;
+  check (Location.Building "b1") "array" site_a true;
+  check (Location.Building "b2") "array" site_a false;
+  check (Location.Site "s1") "array" site_a true;
+  check (Location.Site "s1") "array" site_b false;
+  check (Location.Region "r1") "array" site_a true;
+  check (Location.Region "r1") "array" site_b true;
+  check (Location.Region "r2") "array" site_b false;
+  check
+    (Location.Multiple [ Location.Device "tape"; Location.Site "s2" ])
+    "array" site_a false;
+  check
+    (Location.Multiple [ Location.Device "array"; Location.Site "s2" ])
+    "array" site_a true
+
+let test_scope_predicates () =
+  Alcotest.(check bool) "object corrupts" true
+    (Location.corrupts_object Location.Data_object);
+  Alcotest.(check bool) "device does not" false
+    (Location.corrupts_object (Location.Device "x"));
+  Alcotest.(check bool) "nested corruption" true
+    (Location.corrupts_object
+       (Location.Multiple [ Location.Device "x"; Location.Data_object ]));
+  Alcotest.(check bool) "devices keep local spares" false
+    (Location.needs_remote_spare
+       (Location.Multiple [ Location.Device "a"; Location.Device "b" ]));
+  Alcotest.(check bool) "site needs remote" true
+    (Location.needs_remote_spare
+       (Location.Multiple [ Location.Device "a"; Location.Site "s" ]))
+
+(* --- Demand --- *)
+
+let test_demand_arithmetic () =
+  let a =
+    Demand.make ~read_bw:(Rate.mib_per_sec 2.) ~write_bw:(Rate.mib_per_sec 3.)
+      ~capacity:(Size.gib 10.) ()
+  in
+  let b = Demand.make ~read_bw:(Rate.mib_per_sec 1.) () in
+  let s = Demand.add a b in
+  close_rate "read" (Rate.mib_per_sec 3.) s.Demand.read_bw;
+  close_rate "write" (Rate.mib_per_sec 3.) s.Demand.write_bw;
+  close_size "cap" (Size.gib 10.) s.Demand.capacity;
+  close_rate "total bw" (Rate.mib_per_sec 6.) (Demand.total_bw s);
+  Alcotest.(check bool) "zero" true (Demand.is_zero Demand.zero);
+  Alcotest.(check bool) "nonzero" false (Demand.is_zero a)
+
+let test_demand_by_technique () =
+  let labeled =
+    [
+      { Demand.technique = "backup"; demand = Demand.make ~capacity:(Size.gib 1.) () };
+      { Demand.technique = "foreground"; demand = Demand.make ~capacity:(Size.gib 2.) () };
+      { Demand.technique = "backup"; demand = Demand.make ~capacity:(Size.gib 3.) () };
+    ]
+  in
+  match Demand.by_technique labeled with
+  | [ (n1, d1); (n2, d2) ] ->
+    Alcotest.(check string) "first label" "backup" n1;
+    close_size "merged" (Size.gib 4.) d1.Demand.capacity;
+    Alcotest.(check string) "second label" "foreground" n2;
+    close_size "kept" (Size.gib 2.) d2.Demand.capacity
+  | other -> Alcotest.failf "unexpected group count %d" (List.length other)
+
+(* --- Cost_model --- *)
+
+let test_cost_model () =
+  let m =
+    Cost_model.make ~fixed:(Money.usd 98_895.) ~per_gib:0.4
+      ~per_mib_per_sec:108.6 ~per_shipment:50. ()
+  in
+  close_money "tape library outlay"
+    (Money.usd (98_895. +. (0.4 *. 6800.) +. (108.6 *. 8.1) +. (50. *. 13.)))
+    (Cost_model.outlay m ~capacity:(Size.gib 6800.)
+       ~bandwidth:(Rate.mib_per_sec 8.1) ~shipments_per_year:13.);
+  close_money "capacity only" (Money.usd 400.)
+    (Cost_model.capacity_cost m (Size.gib 1000.));
+  close_money "bandwidth only" (Money.usd 1086.)
+    (Cost_model.bandwidth_cost m (Rate.mib_per_sec 10.));
+  check_raises_invalid "negative coefficient" (fun () ->
+      Cost_model.make ~per_gib:(-1.) ());
+  check_raises_invalid "negative shipments" (fun () ->
+      Cost_model.outlay m ~capacity:Size.zero ~bandwidth:Rate.zero
+        ~shipments_per_year:(-1.))
+
+(* --- Spare --- *)
+
+let test_spare () =
+  let dedicated = Spare.Dedicated { provisioning_time = Duration.minutes 1.2 } in
+  let shared =
+    Spare.Shared { provisioning_time = Duration.hours 9.; discount = 0.2 }
+  in
+  Alcotest.(check bool) "no spare time" true
+    (Spare.provisioning_time Spare.No_spare = None);
+  close_duration "dedicated time" (Duration.minutes 1.2)
+    (Option.get (Spare.provisioning_time dedicated));
+  close_duration "shared time" (Duration.hours 9.)
+    (Option.get (Spare.provisioning_time shared));
+  close_money "dedicated cost" (Money.usd 100.)
+    (Spare.cost dedicated ~original:(Money.usd 100.));
+  close_money "shared cost" (Money.usd 20.)
+    (Spare.cost shared ~original:(Money.usd 100.));
+  close_money "no spare cost" Money.zero
+    (Spare.cost Spare.No_spare ~original:(Money.usd 100.))
+
+(* --- Device --- *)
+
+let array =
+  Device.make ~name:"array" ~location:site_a ~max_capacity_slots:256
+    ~slot_capacity:(Size.gib 73.) ~max_bandwidth_slots:256
+    ~slot_bandwidth:(Rate.mib_per_sec 25.)
+    ~enclosure_bandwidth:(Rate.mib_per_sec 512.)
+    ~spare:(Spare.Dedicated { provisioning_time = Duration.hours 0.02 })
+    ~remote_spare:
+      (Spare.Shared { provisioning_time = Duration.hours 9.; discount = 0.2 })
+    ()
+
+let vault =
+  Device.make ~name:"vault" ~location:site_b ~max_capacity_slots:5000
+    ~slot_capacity:(Size.gib 400.) ()
+
+let test_device_derived () =
+  close_size "devCap" (Size.gib (256. *. 73.)) (Device.max_capacity array);
+  (* The erratum rule: devBW = min(enclBW, slots * slotBW). *)
+  close_rate "devBW is min" (Rate.mib_per_sec 512.) (Device.max_bandwidth array);
+  Alcotest.(check bool) "array has bandwidth" false (Device.is_capacity_only array);
+  close_rate "vault has none" Rate.zero (Device.max_bandwidth vault);
+  Alcotest.(check bool) "vault capacity-only" true (Device.is_capacity_only vault)
+
+let test_device_bw_slots_bound () =
+  (* When slots bind tighter than the enclosure, they win. *)
+  let d =
+    Device.make ~name:"d" ~location:site_a ~max_capacity_slots:10
+      ~slot_capacity:(Size.gib 100.) ~max_bandwidth_slots:2
+      ~slot_bandwidth:(Rate.mib_per_sec 60.)
+      ~enclosure_bandwidth:(Rate.mib_per_sec 240.)
+      ()
+  in
+  close_rate "slots bind" (Rate.mib_per_sec 120.) (Device.max_bandwidth d)
+
+let demand_of ~bw_mib ~cap_gib technique =
+  {
+    Demand.technique;
+    demand =
+      Demand.make ~read_bw:(Rate.mib_per_sec bw_mib)
+        ~capacity:(Size.gib cap_gib) ();
+  }
+
+let test_device_utilization () =
+  let demands =
+    [ demand_of ~bw_mib:12.4 ~cap_gib:16320. "all" ]
+  in
+  let u = Device.utilization array demands in
+  close ~tol:1e-3 "bw fraction" (12.4 /. 512.) u.Device.bandwidth_fraction;
+  close ~tol:1e-3 "cap fraction" (16320. /. 18688.) u.Device.capacity_fraction;
+  Alcotest.(check int) "cap slots" 224 u.Device.capacity_slots_needed;
+  Alcotest.(check int) "bw slots" 1 u.Device.bandwidth_slots_needed;
+  Alcotest.(check bool) "not overcommitted" false (Device.overcommitted u)
+
+let test_device_overcommit () =
+  let u = Device.utilization array [ demand_of ~bw_mib:600. ~cap_gib:1. "x" ] in
+  Alcotest.(check bool) "bw overcommitted" true (Device.overcommitted u);
+  let u2 = Device.utilization array [ demand_of ~bw_mib:1. ~cap_gib:20000. "x" ] in
+  Alcotest.(check bool) "cap overcommitted" true (Device.overcommitted u2)
+
+let test_device_available_bw () =
+  close_rate "available"
+    (Rate.mib_per_sec (512. -. 12.4))
+    (Device.available_bandwidth array [ demand_of ~bw_mib:12.4 ~cap_gib:1. "x" ])
+
+let test_device_spare_for () =
+  (match Device.spare_for array ~scope:(Location.Device "array") with
+  | Spare.Dedicated _ -> ()
+  | _ -> Alcotest.fail "device scope should use the local spare");
+  (match Device.spare_for array ~scope:(Location.Site "s1") with
+  | Spare.Shared _ -> ()
+  | _ -> Alcotest.fail "site scope should use the remote spare");
+  match Device.spare_for vault ~scope:(Location.Site "s2") with
+  | Spare.No_spare -> ()
+  | _ -> Alcotest.fail "vault has no spare"
+
+let test_device_validation () =
+  check_raises_invalid "zero slot cap" (fun () ->
+      Device.make ~name:"d" ~location:site_a ~max_capacity_slots:1
+        ~slot_capacity:Size.zero ());
+  check_raises_invalid "no capacity slots" (fun () ->
+      Device.make ~name:"d" ~location:site_a ~max_capacity_slots:0
+        ~slot_capacity:(Size.gib 1.) ())
+
+(* --- Interconnect --- *)
+
+let test_interconnect_network () =
+  let oc3 =
+    Interconnect.make ~name:"oc3"
+      ~transport:
+        (Interconnect.Network
+           { link_bandwidth = Rate.megabits_per_sec 155.; links = 10 })
+      ~cost:(Cost_model.make ~per_mib_per_sec:23535. ())
+      ()
+  in
+  (match Interconnect.bandwidth oc3 with
+  | Some bw ->
+    close ~tol:1e-6 "aggregate"
+      (10. *. 155. *. 1e6 /. 8.)
+      (Rate.to_bytes_per_sec bw)
+  | None -> Alcotest.fail "network has bandwidth");
+  let annual = Interconnect.annual_cost oc3 ~shipments_per_year:0. in
+  Alcotest.(check bool) "priced by bandwidth" true
+    (Money.to_usd annual > 4e6 && Money.to_usd annual < 4.6e6)
+
+let test_interconnect_shipment () =
+  let air =
+    Interconnect.make ~name:"air" ~transport:Interconnect.Shipment
+      ~delay:(Duration.hours 24.)
+      ~cost:(Cost_model.make ~per_shipment:50. ())
+      ()
+  in
+  Alcotest.(check bool) "no bandwidth" true (Interconnect.bandwidth air = None);
+  close_money "13 shipments" (Money.usd 650.)
+    (Interconnect.annual_cost air ~shipments_per_year:13.)
+
+let test_interconnect_validation () =
+  check_raises_invalid "zero links" (fun () ->
+      Interconnect.make ~name:"x"
+        ~transport:
+          (Interconnect.Network
+             { link_bandwidth = Rate.mib_per_sec 1.; links = 0 })
+        ());
+  check_raises_invalid "zero bandwidth" (fun () ->
+      Interconnect.make ~name:"x"
+        ~transport:(Interconnect.Network { link_bandwidth = Rate.zero; links = 1 })
+        ())
+
+(* --- property tests --- *)
+
+let prop_utilization_scales_linearly =
+  QCheck.Test.make ~name:"utilization linear in demand" ~count:100
+    (QCheck.float_range 0.1 100.)
+    (fun bw ->
+      let u1 = Device.utilization array [ demand_of ~bw_mib:bw ~cap_gib:1. "x" ] in
+      let u2 =
+        Device.utilization array [ demand_of ~bw_mib:(2. *. bw) ~cap_gib:1. "x" ]
+      in
+      Float.abs ((2. *. u1.Device.bandwidth_fraction) -. u2.Device.bandwidth_fraction)
+      < 1e-9)
+
+let prop_slots_cover_demand =
+  QCheck.Test.make ~name:"provisioned slots cover the demand" ~count:100
+    (QCheck.float_range 1. 18000.)
+    (fun cap_gib ->
+      let labeled = [ demand_of ~bw_mib:1. ~cap_gib "x" ] in
+      let u = Device.utilization array labeled in
+      float_of_int u.Device.capacity_slots_needed *. 73. >= cap_gib -. 1e-6)
+
+let suite =
+  [
+    ( "device",
+      [
+        Alcotest.test_case "failure scopes" `Quick test_scope_destroys;
+        Alcotest.test_case "scope predicates" `Quick test_scope_predicates;
+        Alcotest.test_case "demand arithmetic" `Quick test_demand_arithmetic;
+        Alcotest.test_case "demand grouping" `Quick test_demand_by_technique;
+        Alcotest.test_case "cost model" `Quick test_cost_model;
+        Alcotest.test_case "spares" `Quick test_spare;
+        Alcotest.test_case "derived capacities" `Quick test_device_derived;
+        Alcotest.test_case "bandwidth slots bound" `Quick test_device_bw_slots_bound;
+        Alcotest.test_case "utilization" `Quick test_device_utilization;
+        Alcotest.test_case "overcommit detection" `Quick test_device_overcommit;
+        Alcotest.test_case "available bandwidth" `Quick test_device_available_bw;
+        Alcotest.test_case "spare selection by scope" `Quick test_device_spare_for;
+        Alcotest.test_case "validation" `Quick test_device_validation;
+        Alcotest.test_case "network interconnect" `Quick test_interconnect_network;
+        Alcotest.test_case "shipment interconnect" `Quick test_interconnect_shipment;
+        Alcotest.test_case "interconnect validation" `Quick
+          test_interconnect_validation;
+        qcheck prop_utilization_scales_linearly;
+        qcheck prop_slots_cover_demand;
+      ] );
+  ]

@@ -1,0 +1,10 @@
+(* Aggregated test runner for the whole framework. *)
+
+let () =
+  Alcotest.run "storage-dependability"
+    (Test_units.suite @ Test_workload.suite @ Test_device.suite
+   @ Test_protection.suite @ Test_hierarchy.suite @ Test_model.suite
+   @ Test_sim.suite @ Test_optimize.suite @ Test_extensions.suite
+   @ Test_presets.suite @ Test_spec.suite @ Test_coverage.suite
+   @ Test_random_designs.suite
+   @ Test_report.suite)

@@ -1,0 +1,235 @@
+(* Tests for the design-space optimizer: objective summaries, Pareto
+   frontiers and the search loop. *)
+
+open Storage_units
+open Storage_model
+open Storage_optimize
+open Storage_presets
+open Helpers
+
+let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ]
+
+let kit business =
+  {
+    Candidate.workload = Cello.workload;
+    business;
+    primary = Baseline.disk_array;
+    tape_library = Baseline.tape_library;
+    vault = Baseline.vault;
+    remote_array = Baseline.remote_array;
+    san = Baseline.san;
+    shipment = Baseline.air_shipment;
+    wan = (fun links -> Baseline.oc3 ~links);
+  }
+
+let business ?rto ?rpo () =
+  Business.make
+    ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+    ~loss_penalty_rate:(Money_rate.usd_per_hour 50_000.)
+    ?recovery_time_objective:rto ?recovery_point_objective:rpo ()
+
+(* --- Objective --- *)
+
+let test_summary_baseline () =
+  let s = Objective.summarize Baseline.design scenarios in
+  Alcotest.(check int) "two reports" 2 (List.length s.Objective.reports);
+  close ~tol:0.01 "worst RT is site" 25.73
+    (Duration.to_hours s.Objective.worst_recovery_time);
+  (match s.Objective.worst_loss with
+  | Data_loss.Updates d -> close "worst loss 1429" 1429. (Duration.to_hours d)
+  | Data_loss.Entire_object -> Alcotest.fail "finite loss expected");
+  Alcotest.(check bool) "feasible without objectives" true s.Objective.feasible;
+  close ~tol:1e-6 "worst total = outlays + worst penalties"
+    (Money.to_usd s.Objective.outlays +. Money.to_usd s.Objective.worst_penalties)
+    (Money.to_usd s.Objective.worst_total_cost)
+
+let test_summary_infeasible_rto () =
+  let d =
+    Design.make ~name:"strict" ~workload:Cello.workload
+      ~hierarchy:Baseline.design.Design.hierarchy
+      ~business:(business ~rto:(Duration.hours 1.) ()) ()
+  in
+  let s = Objective.summarize d scenarios in
+  Alcotest.(check bool) "RTO 1 hr infeasible" false s.Objective.feasible
+
+let test_summary_empty_scenarios () =
+  check_raises_invalid "no scenarios" (fun () ->
+      Objective.summarize Baseline.design [])
+
+(* --- Pareto --- *)
+
+let test_pareto_baseline_vs_whatifs () =
+  let summaries =
+    List.map (fun (_, d) -> Objective.summarize d scenarios) Whatif.all
+  in
+  let frontier = Pareto.frontier summaries in
+  let names =
+    List.map (fun s -> s.Objective.design.Design.name) frontier
+  in
+  (* The baseline is dominated: "weekly vault, daily F, snapshot" is
+     cheaper with strictly better DL and comparable RT. *)
+  Alcotest.(check bool) "baseline dominated" false (List.mem "baseline" names);
+  Alcotest.(check bool) "frontier non-empty" true (frontier <> [])
+
+let test_pareto_non_domination_property () =
+  let summaries =
+    List.map (fun (_, d) -> Objective.summarize d scenarios) Whatif.all
+  in
+  let frontier = Pareto.frontier summaries in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun other ->
+          if Pareto.dominates other s then
+            Alcotest.failf "%s dominated on the frontier"
+              s.Objective.design.Design.name)
+        summaries)
+    frontier
+
+let test_dominates_asymmetric () =
+  let summaries =
+    List.map (fun (_, d) -> Objective.summarize d scenarios) Whatif.all
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Pareto.dominates a b && Pareto.dominates b a then
+            Alcotest.fail "mutual domination")
+        summaries)
+    summaries
+
+(* --- Candidate --- *)
+
+let small_space =
+  {
+    Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
+    pit_accumulations = [ Duration.hours 12. ];
+    pit_retentions = [ 4 ];
+    backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
+    backup_retention_horizon = Duration.weeks 4.;
+    vault_accumulations = [ Duration.weeks 1. ];
+    vault_retention_horizon = Duration.years 3.;
+    mirror_links = [ 1; 10 ];
+  }
+
+let test_enumerate_counts () =
+  let designs = Candidate.enumerate (kit (business ())) small_space in
+  (* 2 PiT kinds x 1 acc x 1 ret x 2 backup x 1 vault + 2 mirrors = 6. *)
+  Alcotest.(check int) "grid size" 6 (List.length designs)
+
+let test_enumerate_all_valid () =
+  let designs =
+    Candidate.enumerate (kit (business ())) Candidate.default_space
+  in
+  Alcotest.(check bool) "non-empty" true (designs <> []);
+  List.iter
+    (fun d ->
+      match Design.validate d with
+      | Ok () -> ()
+      | Error es ->
+        Alcotest.failf "invalid candidate %s: %s" d.Design.name
+          (String.concat "; " es))
+    designs
+
+let test_enumerate_names_unique () =
+  let designs = Candidate.enumerate (kit (business ())) Candidate.default_space in
+  let names = List.map (fun d -> d.Design.name) designs in
+  Alcotest.(check int) "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+(* --- Search --- *)
+
+let test_search_best_is_cheapest_feasible () =
+  let candidates = Candidate.enumerate (kit (business ())) small_space in
+  let result = Search.run candidates scenarios in
+  match result.Search.best with
+  | None -> Alcotest.fail "expected a feasible design"
+  | Some best ->
+    List.iter
+      (fun s ->
+        if
+          s.Objective.feasible
+          && Money.compare s.Objective.worst_total_cost
+               best.Objective.worst_total_cost
+             < 0
+        then Alcotest.fail "best is not cheapest")
+      result.Search.evaluated
+
+let test_search_respects_rpo () =
+  let b = business ~rpo:(Duration.minutes 5.) () in
+  let candidates = Candidate.enumerate (kit b) small_space in
+  let result = Search.run candidates scenarios in
+  (* Only the mirror designs achieve minute-scale RPO. *)
+  List.iter
+    (fun s ->
+      let name = s.Objective.design.Design.name in
+      Alcotest.(check bool)
+        (name ^ " is a mirror")
+        true
+        (String.length name >= 6 && String.sub name 0 6 = "asyncB"))
+    result.Search.feasible;
+  Alcotest.(check bool) "some feasible" true (result.Search.feasible <> [])
+
+let test_search_empty_inputs () =
+  check_raises_invalid "no candidates" (fun () -> Search.run [] scenarios);
+  check_raises_invalid "no scenarios" (fun () ->
+      Search.run [ Baseline.design ] [])
+
+let test_search_feasible_sorted () =
+  let candidates = Candidate.enumerate (kit (business ())) small_space in
+  let result = Search.run candidates scenarios in
+  let costs =
+    List.map
+      (fun s -> Money.to_usd s.Objective.worst_total_cost)
+      result.Search.feasible
+  in
+  Alcotest.(check bool) "ascending" true
+    (costs = List.sort Float.compare costs)
+
+let prop_frontier_subset =
+  QCheck.Test.make ~name:"frontier is a subset of the input" ~count:10
+    QCheck.(int_range 1 4)
+    (fun n ->
+      let designs =
+        List.filteri (fun i _ -> i < n) (List.map snd Whatif.all)
+      in
+      let summaries = List.map (fun d -> Objective.summarize d scenarios) designs in
+      let frontier = Pareto.frontier summaries in
+      List.for_all (fun s -> List.memq s summaries) frontier
+      && List.length frontier <= List.length summaries
+      && frontier <> [])
+
+let suite =
+  [
+    ( "optimize.objective",
+      [
+        Alcotest.test_case "baseline summary" `Quick test_summary_baseline;
+        Alcotest.test_case "infeasible RTO" `Quick test_summary_infeasible_rto;
+        Alcotest.test_case "empty scenarios" `Quick test_summary_empty_scenarios;
+      ] );
+    ( "optimize.pareto",
+      [
+        Alcotest.test_case "baseline dominated" `Quick test_pareto_baseline_vs_whatifs;
+        Alcotest.test_case "frontier non-domination" `Quick
+          test_pareto_non_domination_property;
+        Alcotest.test_case "domination asymmetric" `Quick test_dominates_asymmetric;
+        qcheck prop_frontier_subset;
+      ] );
+    ( "optimize.candidate",
+      [
+        Alcotest.test_case "grid size" `Quick test_enumerate_counts;
+        Alcotest.test_case "all candidates valid" `Quick test_enumerate_all_valid;
+        Alcotest.test_case "unique names" `Quick test_enumerate_names_unique;
+      ] );
+    ( "optimize.search",
+      [
+        Alcotest.test_case "best is cheapest feasible" `Quick
+          test_search_best_is_cheapest_feasible;
+        Alcotest.test_case "RPO constraint" `Quick test_search_respects_rpo;
+        Alcotest.test_case "empty inputs" `Quick test_search_empty_inputs;
+        Alcotest.test_case "feasible sorted by cost" `Quick
+          test_search_feasible_sorted;
+      ] );
+  ]

@@ -1,0 +1,141 @@
+(* Fidelity tests for the case-study presets: the encoded parameters must
+   match the paper's Tables 2-4 exactly, and the what-if list must match
+   Table 7's row set. *)
+
+open Storage_units
+open Storage_device
+open Storage_protection
+open Storage_presets
+open Helpers
+
+(* --- Table 2: cello --- *)
+
+let test_cello_parameters () =
+  let w = Cello.workload in
+  close_size "dataCap" (Size.gib 1360.) w.Storage_workload.Workload.data_capacity;
+  close_rate "access" (Rate.kib_per_sec 1028.)
+    w.Storage_workload.Workload.avg_access_rate;
+  close_rate "updates" (Rate.kib_per_sec 799.)
+    w.Storage_workload.Workload.avg_update_rate;
+  close "burst" 10. w.Storage_workload.Workload.burst_multiplier;
+  List.iter
+    (fun (win, expected) ->
+      close_rate
+        (Printf.sprintf "batch @ %s" (Duration.to_string win))
+        (Rate.kib_per_sec expected)
+        (Storage_workload.Workload.batch_update_rate w win))
+    [
+      (Duration.minutes 1., 727.);
+      (Duration.hours 12., 350.);
+      (Duration.hours 24., 317.);
+      (Duration.hours 48., 317.);
+      (Duration.weeks 1., 317.);
+    ]
+
+(* --- Table 3: policies --- *)
+
+let test_policy_parameters () =
+  let check name (s : Schedule.t) ~acc ~prop ~hold ~ret ~retw =
+    close_duration (name ^ " accW") acc s.Schedule.full.Schedule.accumulation;
+    close_duration (name ^ " propW") prop s.Schedule.full.Schedule.propagation;
+    close_duration (name ^ " holdW") hold s.Schedule.full.Schedule.hold;
+    Alcotest.(check int) (name ^ " retCnt") ret s.Schedule.retention_count;
+    close_duration (name ^ " retW") retw (Schedule.retention_window s)
+  in
+  check "split mirror" Baseline.split_mirror_schedule ~acc:(Duration.hours 12.)
+    ~prop:Duration.zero ~hold:Duration.zero ~ret:4 ~retw:(Duration.days 2.);
+  check "backup" Baseline.backup_schedule ~acc:(Duration.weeks 1.)
+    ~prop:(Duration.hours 48.) ~hold:(Duration.hours 1.) ~ret:4
+    ~retw:(Duration.weeks 4.);
+  check "vaulting" Baseline.vault_schedule ~acc:(Duration.weeks 4.)
+    ~prop:(Duration.hours 24.)
+    ~hold:(Duration.add (Duration.weeks 4.) (Duration.hours 12.))
+    ~ret:39
+    ~retw:(Duration.weeks 156.)
+
+(* --- Table 4: devices --- *)
+
+let test_device_parameters () =
+  let a = Baseline.disk_array in
+  Alcotest.(check int) "array cap slots" 256 a.Device.max_capacity_slots;
+  close_size "array slot cap" (Size.gib 73.) a.Device.slot_capacity;
+  Alcotest.(check int) "array bw slots" 256 a.Device.max_bandwidth_slots;
+  close_rate "array slot bw" (Rate.mib_per_sec 25.) a.Device.slot_bandwidth;
+  close_rate "array enclosure" (Rate.mib_per_sec 512.) a.Device.enclosure_bandwidth;
+  close_money "array fixed" (Money.usd 123297.) a.Device.cost.Cost_model.fixed;
+  close "array per-GB" 17.2 a.Device.cost.Cost_model.per_gib;
+  (match a.Device.spare with
+  | Spare.Dedicated { provisioning_time } ->
+    close_duration "hot spare" (Duration.hours 0.02) provisioning_time
+  | _ -> Alcotest.fail "array spare is dedicated");
+  (match a.Device.remote_spare with
+  | Spare.Shared { provisioning_time; discount } ->
+    close_duration "facility time" (Duration.hours 9.) provisioning_time;
+    close "facility discount" 0.2 discount
+  | _ -> Alcotest.fail "array remote spare is shared");
+  let t = Baseline.tape_library in
+  Alcotest.(check int) "tape cartridges" 500 t.Device.max_capacity_slots;
+  close_size "cartridge" (Size.gib 400.) t.Device.slot_capacity;
+  Alcotest.(check int) "tape drives" 16 t.Device.max_bandwidth_slots;
+  close_rate "drive bw" (Rate.mib_per_sec 60.) t.Device.slot_bandwidth;
+  close_duration "load delay" (Duration.hours 0.01) t.Device.access_delay;
+  close "tape per-MB/s" 108.6 t.Device.cost.Cost_model.per_mib_per_sec;
+  let v = Baseline.vault in
+  Alcotest.(check int) "vault slots" 5000 v.Device.max_capacity_slots;
+  Alcotest.(check bool) "vault capacity-only" true (Device.is_capacity_only v);
+  Alcotest.(check bool) "vault no spare" true (v.Device.spare = Spare.No_spare);
+  match Baseline.air_shipment.Interconnect.transport with
+  | Interconnect.Shipment ->
+    close_duration "air delay" (Duration.hours 24.)
+      Baseline.air_shipment.Interconnect.delay
+  | Interconnect.Network _ -> Alcotest.fail "air shipment is physical"
+
+let test_oc3 () =
+  let link = Baseline.oc3 ~links:10 in
+  match Interconnect.bandwidth link with
+  | Some bw -> close ~tol:1e-9 "10 x 155 Mbps" (10. *. 155e6 /. 8.) (Rate.to_bytes_per_sec bw)
+  | None -> Alcotest.fail "oc3 is a network"
+
+(* --- Table 7 rows --- *)
+
+let test_whatif_rows () =
+  Alcotest.(check (list string)) "row set"
+    [
+      "baseline"; "weekly vault"; "weekly vault, F+I"; "weekly vault, daily F";
+      "weekly vault, daily F, snapshot"; "asyncB mirror, 1 link";
+      "asyncB mirror, 10 links";
+    ]
+    (List.map fst Whatif.all)
+
+let test_all_whatifs_valid () =
+  List.iter
+    (fun (name, d) ->
+      match Storage_model.Design.validate d with
+      | Ok () -> ()
+      | Error es ->
+        Alcotest.failf "%s invalid: %s" name (String.concat "; " es))
+    Whatif.all
+
+let test_scenarios () =
+  Alcotest.(check int) "three scenarios" 3 (List.length Baseline.scenarios);
+  close_duration "object target age" (Duration.hours 24.)
+    Baseline.scenario_object.Storage_model.Scenario.target_age;
+  match Baseline.scenario_object.Storage_model.Scenario.object_size with
+  | Some s -> close_size "1 MiB object" (Size.mib 1.) s
+  | None -> Alcotest.fail "object scenario has a size"
+
+let suite =
+  [
+    ( "presets",
+      [
+        Alcotest.test_case "Table 2 cello parameters" `Quick test_cello_parameters;
+        Alcotest.test_case "Table 3 policy parameters" `Quick
+          test_policy_parameters;
+        Alcotest.test_case "Table 4 device parameters" `Quick
+          test_device_parameters;
+        Alcotest.test_case "OC-3 links" `Quick test_oc3;
+        Alcotest.test_case "Table 7 design rows" `Quick test_whatif_rows;
+        Alcotest.test_case "all what-ifs valid" `Quick test_all_whatifs_valid;
+        Alcotest.test_case "scenario definitions" `Quick test_scenarios;
+      ] );
+  ]

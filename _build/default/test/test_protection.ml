@@ -1,0 +1,369 @@
+(* Tests for the protection library: RAID, schedules, techniques and the
+   per-technique workload demand derivations, checked against the paper's
+   case-study arithmetic. *)
+
+open Storage_units
+open Storage_device
+open Storage_protection
+open Helpers
+
+(* --- Raid --- *)
+
+let test_raid_factors () =
+  close "raid0 cap" 1. (Raid.capacity_factor Raid.Raid0);
+  close "raid1 cap" 2. (Raid.capacity_factor Raid.Raid1);
+  close "raid10 cap" 2. (Raid.capacity_factor Raid.Raid10);
+  close "raid5 cap" (5. /. 4.) (Raid.capacity_factor (Raid.Raid5 { stripe_width = 5 }));
+  close "raid5 write amp" 4. (Raid.write_amplification (Raid.Raid5 { stripe_width = 5 }));
+  close "raid1 write amp" 2. (Raid.write_amplification Raid.Raid1);
+  Alcotest.(check bool) "raid0 unsafe" false (Raid.tolerates_disk_failure Raid.Raid0);
+  Alcotest.(check bool) "raid5 safe" true
+    (Raid.tolerates_disk_failure (Raid.Raid5 { stripe_width = 5 }));
+  check_raises_invalid "narrow stripe" (fun () ->
+      Raid.capacity_factor (Raid.Raid5 { stripe_width = 2 }))
+
+(* --- Schedule --- *)
+
+let baseline_backup =
+  Schedule.simple ~acc:(Duration.weeks 1.) ~prop:(Duration.hours 48.)
+    ~hold:(Duration.hours 1.) ~retention_count:4 ()
+
+let split_mirror = Schedule.simple ~acc:(Duration.hours 12.) ~retention_count:4 ()
+
+let f_plus_i =
+  Schedule.make
+    ~full:
+      (Schedule.windows ~acc:(Duration.hours 48.) ~prop:(Duration.hours 48.)
+         ~hold:(Duration.hours 1.) ())
+    ~secondary:
+      ( Schedule.Cumulative,
+        Schedule.windows ~acc:(Duration.hours 24.) ~prop:(Duration.hours 12.)
+          ~hold:(Duration.hours 1.) () )
+    ~cycle_count:5 ~retention_count:4 ()
+
+let test_schedule_validation () =
+  check_raises_invalid "prop > acc" (fun () ->
+      Schedule.windows ~acc:(Duration.hours 1.) ~prop:(Duration.hours 2.) ());
+  check_raises_invalid "zero acc" (fun () -> Schedule.windows ~acc:Duration.zero ());
+  check_raises_invalid "retention < 1" (fun () ->
+      Schedule.simple ~acc:(Duration.hours 1.) ~retention_count:0 ());
+  check_raises_invalid "cycle count without secondary" (fun () ->
+      Schedule.make
+        ~full:(Schedule.windows ~acc:(Duration.hours 1.) ())
+        ~cycle_count:3 ~retention_count:1 ());
+  check_raises_invalid "secondary cannot be Full" (fun () ->
+      Schedule.make
+        ~full:(Schedule.windows ~acc:(Duration.hours 10.) ())
+        ~secondary:(Schedule.Full, Schedule.windows ~acc:(Duration.hours 1.) ())
+        ~cycle_count:2 ~retention_count:1 ())
+
+let test_schedule_derived () =
+  close_duration "simple cycle" (Duration.weeks 1.) (Schedule.cycle_period baseline_backup);
+  close_duration "retention window" (Duration.weeks 4.)
+    (Schedule.retention_window baseline_backup);
+  close_duration "retention span" (Duration.weeks 3.)
+    (Schedule.retention_span baseline_backup);
+  close_duration "F+I cycle" (Duration.weeks 1.) (Schedule.cycle_period f_plus_i);
+  close_duration "F+I min interval" (Duration.hours 24.)
+    (Schedule.rp_interval_min f_plus_i);
+  close_duration "F+I max prop" (Duration.hours 48.)
+    (Schedule.propagation_max f_plus_i)
+
+let test_schedule_lags_golden () =
+  (* The paper's data-loss arithmetic: 217 hr baseline backup, 73 hr F+I,
+     12 hr split mirror. *)
+  close_duration "baseline backup lag" (Duration.hours 217.)
+    (Schedule.worst_lag baseline_backup ~upstream:Duration.zero);
+  close_duration "F+I lag" (Duration.hours 73.)
+    (Schedule.worst_lag f_plus_i ~upstream:Duration.zero);
+  close_duration "split mirror lag" (Duration.hours 12.)
+    (Schedule.worst_lag split_mirror ~upstream:Duration.zero);
+  close_duration "best lag" (Duration.hours 49.)
+    (Schedule.best_lag baseline_backup ~upstream:Duration.zero);
+  close_duration "upstream adds" (Duration.hours 227.)
+    (Schedule.worst_lag baseline_backup ~upstream:(Duration.hours 10.))
+
+(* --- Technique --- *)
+
+let test_technique_classification () =
+  let sm = Technique.Split_mirror split_mirror in
+  let snap = Technique.Virtual_snapshot split_mirror in
+  let bk = Technique.Backup baseline_backup in
+  let mirror =
+    Technique.Remote_mirror
+      { mode = Technique.Asynchronous_batch; schedule = split_mirror }
+  in
+  let primary = Technique.Primary_copy { raid = Raid.Raid1 } in
+  Alcotest.(check string) "names" "split mirror" (Technique.name sm);
+  Alcotest.(check string) "mirror name" "async batch mirror" (Technique.name mirror);
+  Alcotest.(check bool) "sm colocated" true (Technique.colocated_with_primary sm);
+  Alcotest.(check bool) "snap colocated" true (Technique.colocated_with_primary snap);
+  Alcotest.(check bool) "backup not" false (Technique.colocated_with_primary bk);
+  Alcotest.(check bool) "sm is PiT" true (Technique.is_point_in_time sm);
+  Alcotest.(check bool) "mirror not PiT" false (Technique.is_point_in_time mirror);
+  Alcotest.(check bool) "primary no schedule" true
+    (Technique.schedule primary = None);
+  Alcotest.(check bool) "backup has schedule" true (Technique.schedule bk <> None)
+
+(* --- Demands (golden against Table 5) --- *)
+
+let cello = Storage_presets.Cello.workload
+
+let mib r = Rate.to_mib_per_sec r
+let gib s = Size.to_gib s
+
+let test_primary_demands () =
+  let p =
+    Demands.of_technique ~workload:cello
+      (Technique.Primary_copy { raid = Raid.Raid1 })
+  in
+  close ~tol:1e-3 "client bw" (1028. /. 1024.) (mib (Demand.total_bw p.Demands.on_target));
+  close ~tol:1e-6 "raid-1 capacity" 2720. (gib p.Demands.on_target.Demand.capacity);
+  Alcotest.(check bool) "nothing upstream" true (Demand.is_zero p.Demands.on_source)
+
+let test_split_mirror_demands () =
+  let p =
+    Demands.of_technique ~workload:cello ~host_raid:Raid.Raid1
+      (Technique.Split_mirror split_mirror)
+  in
+  (* Resilvering: unique updates of 5 x 12 hr at 317 KiB/s, both read and
+     written, within one 12 hr window: ~3.1 MiB/s. Table 5: 0.6% of 512. *)
+  close ~tol:1e-3 "resilver bw"
+    (2. *. 317. *. 5. /. 1024.)
+    (mib (Demand.total_bw p.Demands.on_target));
+  (* Five raid-1 mirrors: Table 5's 72.8%. *)
+  close ~tol:1e-6 "mirror capacity" (5. *. 2. *. 1360.)
+    (gib p.Demands.on_target.Demand.capacity)
+
+let test_snapshot_demands () =
+  let p =
+    Demands.of_technique ~workload:cello ~host_raid:Raid.Raid1
+      (Technique.Virtual_snapshot split_mirror)
+  in
+  (* Copy-on-write: one extra read and write at the raw update rate. *)
+  close ~tol:1e-3 "cow bw" (2. *. 799. /. 1024.)
+    (mib (Demand.total_bw p.Demands.on_target));
+  (* 4 snapshots of 12 hr unique updates each (350 KiB/s), raid-1. *)
+  close ~tol:1e-3 "snapshot capacity"
+    (4. *. 2. *. 350. *. 12. *. 3600. /. (1024. *. 1024.))
+    (gib p.Demands.on_target.Demand.capacity)
+
+let test_backup_demands () =
+  let p = Demands.of_technique ~workload:cello (Technique.Backup baseline_backup) in
+  (* Full 1360 GiB over 48 hr: 8.06 MiB/s read from the array, written to
+     tape (Table 5: 1.6% of 512, 3.4% of 240). *)
+  let expect = 1360. *. 1024. /. (48. *. 3600.) in
+  close ~tol:1e-6 "source read" expect (mib p.Demands.on_source.Demand.read_bw);
+  close ~tol:1e-6 "target write" expect (mib p.Demands.on_target.Demand.write_bw);
+  close ~tol:1e-6 "link" expect (mib p.Demands.on_link);
+  (* retCnt fulls plus one extra: 5 x 1360 GiB = Table 5's 6.6 TB. *)
+  close ~tol:1e-6 "tape capacity" 6800. (gib p.Demands.on_target.Demand.capacity)
+
+let test_backup_fi_demands () =
+  let p = Demands.of_technique ~workload:cello (Technique.Backup f_plus_i) in
+  (* Bandwidth is the max of the full rate and the largest-incremental
+     rate; fulls dominate here (1360 GiB / 48 hr vs ~137 GiB / 12 hr). *)
+  let full_rate = 1360. *. 1024. /. (48. *. 3600.) in
+  close ~tol:1e-6 "bw is max" full_rate (mib p.Demands.on_source.Demand.read_bw);
+  (* Cycle capacity: one full plus 5 growing cumulative incrementals. *)
+  let incr k = 317. *. float_of_int k *. 24. *. 3600. /. (1024. *. 1024.) in
+  let cycle = 1360. +. incr 1 +. incr 2 +. incr 3 +. incr 4 +. incr 5 in
+  close ~tol:1e-3 "capacity" ((4. *. cycle) +. 1360.)
+    (gib p.Demands.on_target.Demand.capacity)
+
+let test_vaulting_demands () =
+  let vault_sched =
+    Schedule.simple ~acc:(Duration.weeks 4.) ~prop:(Duration.hours 24.)
+      ~hold:(Duration.add (Duration.weeks 4.) (Duration.hours 12.))
+      ~retention_count:39 ()
+  in
+  let p =
+    Demands.of_technique ~workload:cello ~upstream:baseline_backup
+      (Technique.Vaulting vault_sched)
+  in
+  (* 39 fulls = Table 5's 51.8 TB; hold >= upstream retention, so no extra
+     copy bandwidth on the tape library. *)
+  close ~tol:1e-6 "vault capacity" (39. *. 1360.)
+    (gib p.Demands.on_target.Demand.capacity);
+  Alcotest.(check bool) "no extra copy" true (Demand.is_zero p.Demands.on_source)
+
+let test_vaulting_extra_copy () =
+  (* Shipping before the backup retention expires forces an extra media
+     copy at the source (§3.2.3). *)
+  let early =
+    Schedule.simple ~acc:(Duration.weeks 1.) ~prop:(Duration.hours 24.)
+      ~hold:(Duration.hours 12.) ~retention_count:156 ()
+  in
+  let p =
+    Demands.of_technique ~workload:cello ~upstream:baseline_backup
+      (Technique.Vaulting early)
+  in
+  Alcotest.(check bool) "extra copy bandwidth" false
+    (Demand.is_zero p.Demands.on_source)
+
+let test_mirror_demands () =
+  let batch = Schedule.simple ~acc:(Duration.minutes 1.) ~retention_count:1 () in
+  let p mode =
+    Demands.of_technique ~workload:cello
+      (Technique.Remote_mirror { mode; schedule = batch })
+  in
+  let sync = p Technique.Synchronous
+  and async = p Technique.Asynchronous
+  and asyncb = p Technique.Asynchronous_batch in
+  close ~tol:1e-3 "sync link carries raw updates" (799. /. 1024.)
+    (mib sync.Demands.on_link);
+  close ~tol:1e-3 "async same average" (799. /. 1024.) (mib async.Demands.on_link);
+  close ~tol:1e-3 "async batch coalesced" (727. /. 1024.)
+    (mib asyncb.Demands.on_link);
+  close ~tol:1e-6 "destination capacity" 1360.
+    (gib asyncb.Demands.on_target.Demand.capacity);
+  (* Link sizing: sync must sustain the peak, async modes the average. *)
+  close ~tol:1e-3 "sync requires peak" (7990. /. 1024.)
+    (mib
+       (Demands.required_link_bandwidth ~workload:cello
+          (Technique.Remote_mirror { mode = Technique.Synchronous; schedule = batch })));
+  close ~tol:1e-3 "async requires average" (799. /. 1024.)
+    (mib
+       (Demands.required_link_bandwidth ~workload:cello
+          (Technique.Remote_mirror { mode = Technique.Asynchronous; schedule = batch })))
+
+let test_incremental_sizes () =
+  let s3 = Demands.incremental_size cello f_plus_i ~index:3 in
+  let s5 = Demands.incremental_size cello f_plus_i ~index:5 in
+  Alcotest.(check bool) "cumulative grows" true (Size.compare s5 s3 > 0);
+  close_size "largest" s5 (Demands.largest_incremental cello f_plus_i);
+  check_raises_invalid "index 0" (fun () ->
+      Demands.incremental_size cello f_plus_i ~index:0);
+  check_raises_invalid "index beyond cycle" (fun () ->
+      Demands.incremental_size cello f_plus_i ~index:6);
+  check_raises_invalid "no secondary" (fun () ->
+      Demands.incremental_size cello baseline_backup ~index:1);
+  close_size "no secondary largest" Size.zero
+    (Demands.largest_incremental cello baseline_backup)
+
+let test_recovery_sizes () =
+  close_size "primary" (Size.gib 1360.)
+    (Demands.recovery_size ~workload:cello
+       (Technique.Primary_copy { raid = Raid.Raid1 }));
+  close_size "plain backup" (Size.gib 1360.)
+    (Demands.recovery_size ~workload:cello (Technique.Backup baseline_backup));
+  let fi = Demands.recovery_size ~workload:cello (Technique.Backup f_plus_i) in
+  Alcotest.(check bool) "F+I adds the largest incremental" true
+    (Size.compare fi (Size.gib 1360.) > 0)
+
+let test_erasure_coded_demands () =
+  let schedule =
+    Schedule.simple ~acc:(Duration.hours 1.) ~prop:(Duration.hours 1.)
+      ~retention_count:24 ()
+  in
+  let tech = Technique.Erasure_coded { fragments = 8; required = 5; schedule } in
+  close "expansion" 1.6 (Technique.expansion_factor tech);
+  let p = Demands.of_technique ~workload:cello tech in
+  (* Link carries the hourly unique-update rate with the 8/5 expansion. *)
+  let batch = Storage_workload.Workload.batch_update_rate cello (Duration.hours 1.) in
+  close ~tol:1e-9 "link rate"
+    (1.6 *. Rate.to_bytes_per_sec batch)
+    (Rate.to_bytes_per_sec p.Demands.on_link);
+  (* Storage: a coded full copy plus 23 retained hourly windows, all
+     expanded. *)
+  let per_window =
+    Size.to_gib (Storage_workload.Workload.unique_bytes cello (Duration.hours 1.))
+  in
+  close ~tol:1e-9 "capacity"
+    (1.6 *. (1360. +. (23. *. per_window)))
+    (gib p.Demands.on_target.Demand.capacity);
+  (* Reconstruction transfers the logical size, not the expanded size. *)
+  close_size "recovery size" (Size.gib 1360.)
+    (Demands.recovery_size ~workload:cello tech);
+  check_raises_invalid "fragments < required" (fun () ->
+      Technique.expansion_factor
+        (Technique.Erasure_coded { fragments = 3; required = 5; schedule }));
+  Alcotest.(check bool) "is PiT" true (Technique.is_point_in_time tech);
+  Alcotest.(check string) "name" "erasure coded" (Technique.name tech)
+
+let test_shipments_per_year () =
+  close ~tol:1e-6 "monthly-ish" 13.035714285
+    (Demands.shipments_per_year
+       (Schedule.simple ~acc:(Duration.weeks 4.) ~retention_count:1 ()))
+
+(* --- property tests --- *)
+
+let arb_schedule =
+  QCheck.map
+    (fun (acc_h, ret) ->
+      Schedule.simple ~acc:(Duration.hours acc_h) ~retention_count:ret ())
+    QCheck.(pair (float_range 1. 1000.) (int_range 1 50))
+
+let prop_worst_lag_ge_best_lag =
+  QCheck.Test.make ~name:"worst lag >= best lag" ~count:200 arb_schedule
+    (fun s ->
+      Duration.compare
+        (Schedule.worst_lag s ~upstream:Duration.zero)
+        (Schedule.best_lag s ~upstream:Duration.zero)
+      >= 0)
+
+let prop_retention_window_covers_span =
+  QCheck.Test.make ~name:"retention window >= retention span" ~count:200
+    arb_schedule (fun s ->
+      Duration.compare (Schedule.retention_window s) (Schedule.retention_span s)
+      >= 0)
+
+let prop_split_mirror_capacity_monotone =
+  QCheck.Test.make ~name:"split mirror capacity grows with retention"
+    ~count:50
+    QCheck.(int_range 1 10)
+    (fun ret ->
+      let cap r =
+        let s = Schedule.simple ~acc:(Duration.hours 12.) ~retention_count:r () in
+        Size.to_bytes
+          (Demands.of_technique ~workload:cello (Technique.Split_mirror s))
+            .Demands.on_target.Demand.capacity
+      in
+      cap (ret + 1) > cap ret)
+
+let prop_demands_non_negative =
+  QCheck.Test.make ~name:"backup demands are non-negative" ~count:100
+    QCheck.(pair (float_range 2. 400.) (int_range 1 20))
+    (fun (acc_h, ret) ->
+      let s =
+        Schedule.simple ~acc:(Duration.hours acc_h)
+          ~prop:(Duration.hours (acc_h /. 2.))
+          ~retention_count:ret ()
+      in
+      let p = Demands.of_technique ~workload:cello (Technique.Backup s) in
+      Rate.to_bytes_per_sec (Demand.total_bw p.Demands.on_target) >= 0.
+      && Size.to_bytes p.Demands.on_target.Demand.capacity >= 0.)
+
+let suite =
+  [
+    ( "protection.raid",
+      [ Alcotest.test_case "factors" `Quick test_raid_factors ] );
+    ( "protection.schedule",
+      [
+        Alcotest.test_case "validation" `Quick test_schedule_validation;
+        Alcotest.test_case "derived windows" `Quick test_schedule_derived;
+        Alcotest.test_case "lag goldens (217/73/12 hr)" `Quick
+          test_schedule_lags_golden;
+        qcheck prop_worst_lag_ge_best_lag;
+        qcheck prop_retention_window_covers_span;
+      ] );
+    ( "protection.technique",
+      [ Alcotest.test_case "classification" `Quick test_technique_classification ] );
+    ( "protection.demands",
+      [
+        Alcotest.test_case "primary copy" `Quick test_primary_demands;
+        Alcotest.test_case "split mirror (Table 5)" `Quick test_split_mirror_demands;
+        Alcotest.test_case "virtual snapshot" `Quick test_snapshot_demands;
+        Alcotest.test_case "backup (Table 5)" `Quick test_backup_demands;
+        Alcotest.test_case "backup full+incremental" `Quick test_backup_fi_demands;
+        Alcotest.test_case "vaulting (Table 5)" `Quick test_vaulting_demands;
+        Alcotest.test_case "vaulting extra copy" `Quick test_vaulting_extra_copy;
+        Alcotest.test_case "mirroring modes" `Quick test_mirror_demands;
+        Alcotest.test_case "incremental sizes" `Quick test_incremental_sizes;
+        Alcotest.test_case "recovery sizes" `Quick test_recovery_sizes;
+        Alcotest.test_case "erasure coding" `Quick test_erasure_coded_demands;
+        Alcotest.test_case "shipments per year" `Quick test_shipments_per_year;
+        qcheck prop_split_mirror_capacity_monotone;
+        qcheck prop_demands_non_negative;
+      ] );
+  ]

@@ -1,0 +1,190 @@
+(* Unit tests for the dimensioned-quantity library. *)
+
+open Storage_units
+open Helpers
+
+let test_size_constructors () =
+  close "kib" 1024. (Size.to_bytes (Size.kib 1.));
+  close "mib" (1024. *. 1024.) (Size.to_bytes (Size.mib 1.));
+  close "gib" (1024. ** 3.) (Size.to_bytes (Size.gib 1.));
+  close "tib" (1024. ** 4.) (Size.to_bytes (Size.tib 1.));
+  close "roundtrip gib" 1360. (Size.to_gib (Size.gib 1360.));
+  close "tib of gib" 1.328125 (Size.to_tib (Size.gib 1360.))
+
+let test_size_validation () =
+  check_raises_invalid "negative" (fun () -> Size.bytes (-1.));
+  check_raises_invalid "nan" (fun () -> Size.bytes Float.nan);
+  check_raises_invalid "inf" (fun () -> Size.bytes Float.infinity);
+  check_raises_invalid "neg scale" (fun () -> Size.scale (-2.) (Size.gib 1.))
+
+let test_size_arithmetic () =
+  let a = Size.gib 2. and b = Size.gib 3. in
+  close_size "add" (Size.gib 5.) (Size.add a b);
+  close_size "sub" (Size.gib 1.) (Size.sub b a);
+  close_size "sub clamps" Size.zero (Size.sub a b);
+  close "ratio" 1.5 (Size.ratio b a);
+  close_size "scale" (Size.gib 6.) (Size.scale 3. a);
+  close_size "sum" (Size.gib 7.) (Size.sum [ a; b; a ]);
+  Alcotest.(check bool) "is_zero" true (Size.is_zero Size.zero);
+  Alcotest.(check bool) "not zero" false (Size.is_zero a);
+  (match Size.ratio a Size.zero with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "ratio by zero should raise")
+
+let test_size_pp () =
+  Alcotest.(check string) "tib" "1.33 TiB" (Size.to_string (Size.gib 1360.));
+  Alcotest.(check string) "gib" "2.00 GiB" (Size.to_string (Size.gib 2.));
+  Alcotest.(check string) "bytes" "512 B" (Size.to_string (Size.bytes 512.))
+
+let test_duration_constructors () =
+  close "minutes" 60. (Duration.to_seconds (Duration.minutes 1.));
+  close "hours" 3600. (Duration.to_seconds (Duration.hours 1.));
+  close "days" 86400. (Duration.to_seconds (Duration.days 1.));
+  close "weeks" 604800. (Duration.to_seconds (Duration.weeks 1.));
+  close "years" (365. *. 86400.) (Duration.to_seconds (Duration.years 1.));
+  close "to_hours" 26.4 (Duration.to_hours (Duration.hours 26.4));
+  close "to_weeks" 4. (Duration.to_weeks (Duration.weeks 4.))
+
+let test_duration_arithmetic () =
+  let a = Duration.hours 2. and b = Duration.hours 5. in
+  close_duration "add" (Duration.hours 7.) (Duration.add a b);
+  close_duration "sub clamp" Duration.zero (Duration.sub a b);
+  close "ratio" 2.5 (Duration.ratio b a);
+  close_duration "scale" (Duration.hours 6.) (Duration.scale 3. a);
+  close_duration "max" b (Duration.max a b);
+  close_duration "min" a (Duration.min a b);
+  check_raises_invalid "negative" (fun () -> Duration.seconds (-1.))
+
+let test_duration_pp () =
+  Alcotest.(check string) "hr" "2.4 hr" (Duration.to_string (Duration.hours 2.4));
+  Alcotest.(check string) "wk" "8.5 wk" (Duration.to_string (Duration.weeks 8.5));
+  Alcotest.(check string) "sub-second" "0.0040 s"
+    (Duration.to_string (Duration.seconds 0.004));
+  Alcotest.(check string) "zero" "0 s" (Duration.to_string Duration.zero)
+
+let test_rate_constructors () =
+  close "kib/s" 1024. (Rate.to_bytes_per_sec (Rate.kib_per_sec 1.));
+  close "mib/s" (1024. *. 1024.) (Rate.to_bytes_per_sec (Rate.mib_per_sec 1.));
+  close "mbps" (155. *. 1e6 /. 8.)
+    (Rate.to_bytes_per_sec (Rate.megabits_per_sec 155.));
+  check_raises_invalid "negative" (fun () -> Rate.bytes_per_sec (-1.))
+
+let test_rate_transfer () =
+  let r = Rate.mib_per_sec 100. in
+  close_size "over" (Size.mib 6000.) (Rate.over r (Duration.minutes 1.));
+  close_duration "time_to_transfer" (Duration.seconds 10.)
+    (Rate.time_to_transfer (Size.mib 1000.) r);
+  close_duration "transfer zero" Duration.zero
+    (Rate.time_to_transfer Size.zero Rate.zero);
+  (match Rate.time_to_transfer (Size.mib 1.) Rate.zero with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "zero rate should raise");
+  close_rate "of_size_per"
+    (Rate.mib_per_sec 100.)
+    (Rate.of_size_per (Size.mib 6000.) (Duration.minutes 1.))
+
+let test_money () =
+  close "usd" 50_000. (Money.to_usd (Money.usd 50_000.));
+  close "millions" 0.97 (Money.to_millions (Money.of_millions 0.97));
+  close_money "add" (Money.usd 30.) (Money.add (Money.usd 10.) (Money.usd 20.));
+  close_money "sub clamp" Money.zero (Money.sub (Money.usd 10.) (Money.usd 20.));
+  Alcotest.(check string) "pp millions" "$0.97M"
+    (Money.to_string (Money.of_millions 0.97));
+  Alcotest.(check string) "pp thousands" "$98.9k"
+    (Money.to_string (Money.usd 98_895.));
+  check_raises_invalid "negative" (fun () -> Money.usd (-1.))
+
+let test_money_rate () =
+  let rate = Money_rate.usd_per_hour 50_000. in
+  close "to_usd_per_hour" 50_000. (Money_rate.to_usd_per_hour rate);
+  close_money "charge 217h"
+    (Money.usd 10_850_000.)
+    (Money_rate.charge rate (Duration.hours 217.));
+  close_money "charge zero" Money.zero (Money_rate.charge rate Duration.zero)
+
+let test_age_range () =
+  let r =
+    Age_range.make ~newest_age:(Duration.hours 12.)
+      ~oldest_age:(Duration.hours 36.)
+  in
+  Alcotest.(check bool) "contains 24" true (Age_range.contains r (Duration.hours 24.));
+  Alcotest.(check bool) "contains newest" true
+    (Age_range.contains r (Duration.hours 12.));
+  Alcotest.(check bool) "contains oldest" true
+    (Age_range.contains r (Duration.hours 36.));
+  Alcotest.(check bool) "too recent" false
+    (Age_range.contains r (Duration.hours 11.));
+  Alcotest.(check bool) "too old" false (Age_range.contains r (Duration.hours 37.));
+  close_duration "span" (Duration.hours 24.) (Age_range.span r);
+  Alcotest.(check bool) "empty" true (Age_range.is_empty Age_range.empty);
+  Alcotest.(check bool) "not empty" false (Age_range.is_empty r);
+  check_raises_invalid "inverted" (fun () ->
+      Age_range.make ~newest_age:(Duration.hours 2.)
+        ~oldest_age:(Duration.hours 1.))
+
+(* --- property tests --- *)
+
+let prop_size_add_commutative =
+  QCheck.Test.make ~name:"size add commutative" ~count:200
+    (QCheck.pair (arb_pos ()) (arb_pos ()))
+    (fun (a, b) ->
+      let x = Size.bytes a and y = Size.bytes b in
+      Size.to_bytes (Size.add x y) = Size.to_bytes (Size.add y x))
+
+let prop_size_sub_never_negative =
+  QCheck.Test.make ~name:"size sub clamps at zero" ~count:200
+    (QCheck.pair (arb_pos ()) (arb_pos ()))
+    (fun (a, b) ->
+      Size.to_bytes (Size.sub (Size.bytes a) (Size.bytes b)) >= 0.)
+
+let prop_transfer_roundtrip =
+  QCheck.Test.make ~name:"time_to_transfer inverts over" ~count:200
+    (QCheck.pair (arb_pos ~lo:1. ~hi:1e12 ()) (arb_pos ~lo:1. ~hi:1e9 ()))
+    (fun (bytes, rate) ->
+      let size = Size.bytes bytes and r = Rate.bytes_per_sec rate in
+      let d = Rate.time_to_transfer size r in
+      Float.abs (Size.to_bytes (Rate.over r d) -. bytes) /. bytes < 1e-9)
+
+let prop_duration_ratio_scale =
+  QCheck.Test.make ~name:"duration scale then ratio" ~count:200
+    (QCheck.pair (arb_pos ~lo:1. ~hi:1e7 ()) (arb_pos ~lo:0.1 ~hi:100. ()))
+    (fun (secs, k) ->
+      let d = Duration.seconds secs in
+      let scaled = Duration.scale k d in
+      Float.abs (Duration.ratio scaled d -. k) /. k < 1e-9)
+
+let prop_age_range_contains_bounds =
+  QCheck.Test.make ~name:"age range contains its bounds" ~count:200
+    (QCheck.pair (arb_pos ~lo:0.001 ~hi:1e7 ()) (arb_pos ~lo:0.001 ~hi:1e7 ()))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let r =
+        Age_range.make ~newest_age:(Duration.seconds lo)
+          ~oldest_age:(Duration.seconds hi)
+      in
+      Age_range.contains r (Duration.seconds lo)
+      && Age_range.contains r (Duration.seconds hi))
+
+let suite =
+  [
+    ( "units",
+      [
+        Alcotest.test_case "size constructors" `Quick test_size_constructors;
+        Alcotest.test_case "size validation" `Quick test_size_validation;
+        Alcotest.test_case "size arithmetic" `Quick test_size_arithmetic;
+        Alcotest.test_case "size pretty-printing" `Quick test_size_pp;
+        Alcotest.test_case "duration constructors" `Quick test_duration_constructors;
+        Alcotest.test_case "duration arithmetic" `Quick test_duration_arithmetic;
+        Alcotest.test_case "duration pretty-printing" `Quick test_duration_pp;
+        Alcotest.test_case "rate constructors" `Quick test_rate_constructors;
+        Alcotest.test_case "rate transfer math" `Quick test_rate_transfer;
+        Alcotest.test_case "money" `Quick test_money;
+        Alcotest.test_case "money rate penalties" `Quick test_money_rate;
+        Alcotest.test_case "age range" `Quick test_age_range;
+        qcheck prop_size_add_commutative;
+        qcheck prop_size_sub_never_negative;
+        qcheck prop_transfer_roundtrip;
+        qcheck prop_duration_ratio_scale;
+        qcheck prop_age_range_contains_bounds;
+      ] );
+  ]

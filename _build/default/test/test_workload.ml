@@ -1,0 +1,537 @@
+(* Tests for the workload library: PRNG, batch curves, workload specs,
+   synthetic traces and the Table 2 characterization pipeline. *)
+
+open Storage_units
+open Storage_workload
+open Helpers
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  Alcotest.(check bool) "different streams" false
+    (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b))
+
+let test_prng_float_range () =
+  let g = Prng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let i = Prng.int g 17 in
+    if i < 0 || i >= 17 then Alcotest.failf "int out of range: %d" i
+  done;
+  check_raises_invalid "zero bound" (fun () -> Prng.int g 0)
+
+let test_prng_exponential_mean () =
+  let g = Prng.create ~seed:99L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential g ~mean:4.
+  done;
+  close ~tol:0.05 "exponential mean" 4. (!sum /. float_of_int n)
+
+let test_prng_zipf_bounds_and_skew () =
+  let g = Prng.create ~seed:3L in
+  let n = 100 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    let i = Prng.zipf g ~n ~s:1.0 in
+    if i < 0 || i >= n then Alcotest.failf "zipf out of range: %d" i;
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Heavy skew: the most popular item must beat the median item several
+     times over. *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 5 * counts.(n / 2))
+
+let test_prng_zipf_uniform () =
+  let g = Prng.create ~seed:3L in
+  let n = 10 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 10_000 do
+    let i = Prng.zipf g ~n ~s:0. in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 700 || c > 1300 then Alcotest.failf "not near-uniform: %d" c)
+    counts
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:5L in
+  let child = Prng.split g in
+  Alcotest.(check bool) "diverges" false
+    (Int64.equal (Prng.next_int64 g) (Prng.next_int64 child))
+
+(* --- Batch_curve --- *)
+
+let cello_curve =
+  Batch_curve.of_samples
+    [
+      (Duration.minutes 1., Rate.kib_per_sec 727.);
+      (Duration.hours 12., Rate.kib_per_sec 350.);
+      (Duration.hours 24., Rate.kib_per_sec 317.);
+      (Duration.hours 48., Rate.kib_per_sec 317.);
+      (Duration.weeks 1., Rate.kib_per_sec 317.);
+    ]
+
+let test_curve_exact_samples () =
+  close_rate "1 min" (Rate.kib_per_sec 727.)
+    (Batch_curve.rate cello_curve (Duration.minutes 1.));
+  close_rate "12 hr" (Rate.kib_per_sec 350.)
+    (Batch_curve.rate cello_curve (Duration.hours 12.));
+  close_rate "1 wk" (Rate.kib_per_sec 317.)
+    (Batch_curve.rate cello_curve (Duration.weeks 1.))
+
+let test_curve_clamping () =
+  close_rate "below range" (Rate.kib_per_sec 727.)
+    (Batch_curve.rate cello_curve (Duration.seconds 1.));
+  close_rate "above range" (Rate.kib_per_sec 317.)
+    (Batch_curve.rate cello_curve (Duration.weeks 10.))
+
+let test_curve_interpolation_monotone () =
+  (* Between 1 min and 12 hr the rate must lie between the endpoints. *)
+  let r = Rate.to_kib_per_sec (Batch_curve.rate cello_curve (Duration.hours 1.)) in
+  Alcotest.(check bool) "within endpoints" true (r <= 727. && r >= 350.)
+
+let test_curve_unique_bytes_cap () =
+  let cap = Size.mib 10. in
+  let ub = Batch_curve.unique_bytes ~capacity:cap cello_curve (Duration.weeks 1.) in
+  close_size "capped at capacity" cap ub;
+  close_size "zero window" Size.zero
+    (Batch_curve.unique_bytes cello_curve Duration.zero)
+
+let test_curve_validation () =
+  check_raises_invalid "empty" (fun () -> Batch_curve.of_samples []);
+  check_raises_invalid "zero window" (fun () ->
+      Batch_curve.of_samples [ (Duration.zero, Rate.kib_per_sec 1.) ]);
+  check_raises_invalid "duplicate window" (fun () ->
+      Batch_curve.of_samples
+        [
+          (Duration.hours 1., Rate.kib_per_sec 2.);
+          (Duration.hours 1., Rate.kib_per_sec 3.);
+        ]);
+  check_raises_invalid "volume shrinks" (fun () ->
+      Batch_curve.of_samples
+        [
+          (Duration.hours 1., Rate.kib_per_sec 100.);
+          (Duration.hours 10., Rate.kib_per_sec 1.);
+        ])
+
+let test_curve_constant () =
+  let c = Batch_curve.constant (Rate.kib_per_sec 50.) in
+  close_rate "any window" (Rate.kib_per_sec 50.)
+    (Batch_curve.rate c (Duration.days 3.))
+
+let test_curve_power_law_fit () =
+  (* Exact power law rate = 1e6 * win^(-0.3): the fit must recover it. *)
+  let samples =
+    List.map
+      (fun secs ->
+        (Duration.seconds secs, Rate.bytes_per_sec (1e6 *. (secs ** -0.3))))
+      [ 60.; 600.; 3600.; 86400. ]
+  in
+  let curve = Batch_curve.of_samples samples in
+  let a, b = Batch_curve.fit_power_law curve in
+  close ~tol:1e-6 "exponent" 0.3 b;
+  close ~tol:1e-6 "coefficient" 1e6 a;
+  (* Extrapolation beyond the samples follows the law instead of
+     clamping. *)
+  let week = Duration.weeks 1. in
+  close ~tol:1e-6 "extrapolated"
+    (1e6 *. (Duration.to_seconds week ** -0.3))
+    (Rate.to_bytes_per_sec (Batch_curve.extrapolate curve week));
+  (* Inside the range it agrees with plain interpolation. *)
+  close ~tol:1e-9 "interior matches rate"
+    (Rate.to_bytes_per_sec (Batch_curve.rate curve (Duration.minutes 5.)))
+    (Rate.to_bytes_per_sec (Batch_curve.extrapolate curve (Duration.minutes 5.)));
+  check_raises_invalid "single sample" (fun () ->
+      Batch_curve.fit_power_law (Batch_curve.constant (Rate.kib_per_sec 1.)))
+
+let test_curve_cello_fit_is_shallow () =
+  (* The cello curve's overwrite locality: a mild negative exponent. *)
+  let _, b = Batch_curve.fit_power_law cello_curve in
+  Alcotest.(check bool) "b in (0, 0.2)" true (b > 0. && b < 0.2);
+  (* Extrapolating to a month never exceeds the one-minute rate and never
+     increases with the window. *)
+  let month = Rate.to_bytes_per_sec (Batch_curve.extrapolate cello_curve (Duration.weeks 4.)) in
+  let week = Rate.to_bytes_per_sec (Batch_curve.extrapolate cello_curve (Duration.weeks 1.)) in
+  Alcotest.(check bool) "monotone" true (month <= week +. 1e-9)
+
+(* --- Workload --- *)
+
+let workload =
+  Workload.make ~name:"test" ~data_capacity:(Size.gib 100.)
+    ~avg_access_rate:(Rate.kib_per_sec 1000.)
+    ~avg_update_rate:(Rate.kib_per_sec 800.) ~burst_multiplier:10.
+    ~batch_curve:cello_curve
+
+let test_workload_validation () =
+  check_raises_invalid "zero capacity" (fun () ->
+      Workload.make ~name:"w" ~data_capacity:Size.zero
+        ~avg_access_rate:(Rate.kib_per_sec 10.)
+        ~avg_update_rate:(Rate.kib_per_sec 5.) ~burst_multiplier:1.
+        ~batch_curve:cello_curve);
+  check_raises_invalid "updates exceed accesses" (fun () ->
+      Workload.make ~name:"w" ~data_capacity:(Size.gib 1.)
+        ~avg_access_rate:(Rate.kib_per_sec 10.)
+        ~avg_update_rate:(Rate.kib_per_sec 50.) ~burst_multiplier:1.
+        ~batch_curve:cello_curve);
+  check_raises_invalid "burst below 1" (fun () ->
+      Workload.make ~name:"w" ~data_capacity:(Size.gib 1.)
+        ~avg_access_rate:(Rate.kib_per_sec 10.)
+        ~avg_update_rate:(Rate.kib_per_sec 5.) ~burst_multiplier:0.5
+        ~batch_curve:cello_curve)
+
+let test_workload_grow () =
+  let doubled = Workload.grow workload ~factor:2. in
+  close_size "capacity doubles" (Size.gib 200.) doubled.Workload.data_capacity;
+  close_rate "rates double" (Rate.kib_per_sec 2000.)
+    doubled.Workload.avg_access_rate;
+  close "burstiness unchanged" workload.Workload.burst_multiplier
+    doubled.Workload.burst_multiplier;
+  close_rate "curve scales" (Rate.kib_per_sec 700.)
+    (Workload.batch_update_rate doubled (Duration.hours 12.));
+  check_raises_invalid "non-positive factor" (fun () ->
+      Workload.grow workload ~factor:0.)
+
+let test_workload_derived () =
+  close_rate "peak" (Rate.kib_per_sec 8000.) (Workload.peak_update_rate workload);
+  close_rate "batch rate" (Rate.kib_per_sec 350.)
+    (Workload.batch_update_rate workload (Duration.hours 12.));
+  (* 317 KiB/s * 1 wk = 182 GiB, capped at 100 GiB. *)
+  close_size "unique bytes capped" (Size.gib 100.)
+    (Workload.unique_bytes workload (Duration.weeks 1.))
+
+(* --- Trace --- *)
+
+let small_profile =
+  {
+    Trace.block_size = Size.kib 64.;
+    block_count = 1024;
+    mean_update_rate = Rate.kib_per_sec 640.;
+    zipf_exponent = 0.9;
+    burst_multiplier = 5.;
+    burst_fraction = 0.1;
+    mean_phase_length = Duration.minutes 1.;
+  }
+
+let test_trace_deterministic () =
+  let a = Trace.generate ~seed:1L small_profile (Duration.hours 1.)
+  and b = Trace.generate ~seed:1L small_profile (Duration.hours 1.) in
+  Alcotest.(check int) "same events" (Trace.event_count a) (Trace.event_count b);
+  Alcotest.(check bool) "same blocks" true (a.Trace.blocks = b.Trace.blocks)
+
+let test_trace_seed_changes () =
+  let a = Trace.generate ~seed:1L small_profile (Duration.hours 1.)
+  and b = Trace.generate ~seed:2L small_profile (Duration.hours 1.) in
+  Alcotest.(check bool) "different" false (a.Trace.times = b.Trace.times)
+
+let test_trace_times_sorted_and_bounded () =
+  let t = Trace.generate ~seed:3L small_profile (Duration.hours 2.) in
+  let times = t.Trace.times in
+  let n = Array.length times in
+  Alcotest.(check bool) "non-empty" true (n > 0);
+  for i = 1 to n - 1 do
+    if times.(i) < times.(i - 1) then Alcotest.fail "times not sorted"
+  done;
+  Alcotest.(check bool) "within span" true (times.(n - 1) <= 7200.);
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= small_profile.Trace.block_count then
+        Alcotest.fail "block out of range")
+    t.Trace.blocks
+
+let test_trace_rate_accuracy () =
+  let t = Trace.generate ~seed:4L small_profile (Duration.hours 6.) in
+  let measured =
+    Rate.to_kib_per_sec (Trace_stats.average_update_rate t)
+  in
+  (* Modulated Poisson: expect within 20% of the configured mean. *)
+  close ~tol:0.2 "mean rate" 640. measured
+
+let test_trace_of_events () =
+  let t =
+    Trace.of_events ~block_size:(Size.kib 4.) ~block_count:10
+      [ (3., 1); (1., 2); (2., 1) ]
+  in
+  Alcotest.(check int) "count" 3 (Trace.event_count t);
+  Alcotest.(check bool) "sorted" true (t.Trace.times = [| 1.; 2.; 3. |]);
+  check_raises_invalid "block range" (fun () ->
+      Trace.of_events ~block_size:(Size.kib 4.) ~block_count:2 [ (1., 5) ]);
+  check_raises_invalid "negative time" (fun () ->
+      Trace.of_events ~block_size:(Size.kib 4.) ~block_count:2 [ (-1., 0) ])
+
+let test_trace_validation () =
+  check_raises_invalid "bad burst fraction" (fun () ->
+      Trace.generate
+        { small_profile with Trace.burst_fraction = 0. }
+        (Duration.hours 1.));
+  check_raises_invalid "bad multiplier" (fun () ->
+      Trace.generate
+        { small_profile with Trace.burst_multiplier = 0.5 }
+        (Duration.hours 1.))
+
+(* --- Trace_io --- *)
+
+let test_trace_io_roundtrip () =
+  let t = Trace.generate ~seed:21L small_profile (Duration.minutes 30.) in
+  let path = Filename.temp_file "ssdep-trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Trace_io.save_csv t ~path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      match Trace_io.load_csv ~path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok loaded ->
+        Alcotest.(check int) "event count" (Trace.event_count t)
+          (Trace.event_count loaded);
+        Alcotest.(check int) "block count" t.Trace.block_count
+          loaded.Trace.block_count;
+        Alcotest.(check bool) "blocks identical" true
+          (t.Trace.blocks = loaded.Trace.blocks);
+        (* Times roundtrip through %.6f: equal to a microsecond. *)
+        Array.iteri
+          (fun i time ->
+            if Float.abs (time -. loaded.Trace.times.(i)) > 1e-5 then
+              Alcotest.failf "time %d drifted" i)
+          t.Trace.times)
+
+let test_trace_io_errors () =
+  let write content =
+    let path = Filename.temp_file "ssdep-bad" ".csv" in
+    Out_channel.with_open_text path (fun oc -> output_string oc content);
+    path
+  in
+  let check_error name content =
+    let path = write content in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        match Trace_io.load_csv ~path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: expected an error" name)
+  in
+  check_error "no header" "time_s,block\n1.0,2\n";
+  check_error "bad header" "# ssdep-trace nonsense\n";
+  check_error "block out of range"
+    "# ssdep-trace block_size_bytes=4096 block_count=4\ntime_s,block\n1.0,9\n";
+  check_error "garbage line"
+    "# ssdep-trace block_size_bytes=4096 block_count=4\ntime_s,block\nhello\n";
+  match Trace_io.load_csv ~path:"/nonexistent/trace.csv" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file should error"
+
+let test_trace_import_text () =
+  let path = Filename.temp_file "ssdep-import" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            "# external block trace\n\
+             0.5 W 0 8192\n\
+             1.0 R 4096 4096\n\
+             2.0 write 12288 4096\n\
+             3.5 W 4096 100\n");
+      match
+        Trace_io.import_text ~block_size:(Size.kib 4.)
+          ~data_capacity:(Size.kib 64.) ~path
+      with
+      | Error e -> Alcotest.failf "import: %s" e
+      | Ok t ->
+        (* 8 KiB write covers blocks 0-1, the 4 KiB write block 3, the
+           100-byte write block 1; the read is skipped. *)
+        Alcotest.(check int) "events" 4 (Trace.event_count t);
+        Alcotest.(check bool) "blocks" true
+          (t.Trace.blocks = [| 0; 1; 3; 1 |]);
+        Alcotest.(check int) "block count" 16 t.Trace.block_count)
+
+let test_trace_import_errors () =
+  let write content =
+    let path = Filename.temp_file "ssdep-import-bad" ".txt" in
+    Out_channel.with_open_text path (fun oc -> output_string oc content);
+    path
+  in
+  let check_error name content =
+    let path = write content in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        match
+          Trace_io.import_text ~block_size:(Size.kib 4.)
+            ~data_capacity:(Size.kib 64.) ~path
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: expected an error" name)
+  in
+  check_error "wrong arity" "0.5 W 0\n";
+  check_error "bad op" "0.5 T 0 4096\n";
+  check_error "negative time" "-1 W 0 4096\n";
+  check_error "zero length" "0.5 W 0 0\n"
+
+(* --- Trace_stats --- *)
+
+let test_unique_bytes_monotone_in_window () =
+  let t = Trace.generate ~seed:5L small_profile (Duration.hours 4.) in
+  let ub w =
+    Size.to_bytes (Trace_stats.unique_bytes_in_window t w ~stat:`Mean)
+  in
+  let m1 = ub (Duration.minutes 1.)
+  and m10 = ub (Duration.minutes 10.)
+  and h1 = ub (Duration.hours 1.) in
+  Alcotest.(check bool) "1min <= 10min" true (m1 <= m10 +. 1.);
+  Alcotest.(check bool) "10min <= 1h" true (m10 <= h1 +. 1.)
+
+let test_batch_rate_decreases_with_window () =
+  let t = Trace.generate ~seed:6L small_profile (Duration.hours 4.) in
+  let r w = Rate.to_bytes_per_sec (Trace_stats.batch_update_rate t w) in
+  Alcotest.(check bool) "decreasing" true
+    (r (Duration.minutes 1.) >= r (Duration.hours 1.))
+
+let test_burst_multiplier_sane () =
+  let smooth =
+    Trace.generate ~seed:7L
+      {
+        small_profile with
+        Trace.burst_multiplier = 1.;
+        burst_fraction = 0.999;
+      }
+      (Duration.hours 2.)
+  in
+  let bursty = Trace.generate ~seed:7L small_profile (Duration.hours 2.) in
+  let bm t = Trace_stats.burst_multiplier t in
+  Alcotest.(check bool) "smooth low" true (bm smooth < 2.);
+  Alcotest.(check bool) "bursty higher" true (bm bursty > bm smooth)
+
+let test_to_workload () =
+  let t = Trace.generate ~seed:8L small_profile (Duration.hours 6.) in
+  let w =
+    Trace_stats.to_workload ~name:"synthetic"
+      ~windows:[ Duration.minutes 1.; Duration.minutes 30. ]
+      t
+  in
+  Alcotest.(check bool) "access >= update" true
+    (Rate.compare w.Workload.avg_access_rate w.Workload.avg_update_rate >= 0);
+  close_size "capacity" (Size.mib 64.) w.Workload.data_capacity;
+  Alcotest.(check bool) "burst >= 1" true (w.Workload.burst_multiplier >= 1.)
+
+let test_batch_curve_from_trace_monotone () =
+  let t = Trace.generate ~seed:9L small_profile (Duration.hours 4.) in
+  let curve =
+    Trace_stats.batch_curve t
+      ~windows:[ Duration.minutes 1.; Duration.minutes 15.; Duration.hours 1. ]
+  in
+  (* The constructed curve must satisfy Batch_curve's own invariant, and
+     rates must not increase with the window. *)
+  let samples = Batch_curve.samples curve in
+  let rates = List.map (fun (_, r) -> Rate.to_bytes_per_sec r) samples in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-9 >= b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "rates decreasing" true (decreasing rates)
+
+(* --- property tests --- *)
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf sample in range" ~count:500
+    QCheck.(pair (int_range 1 1000) (float_range 0. 2.))
+    (fun (n, s) ->
+      let g = Prng.create ~seed:123L in
+      let x = Prng.zipf g ~n ~s in
+      x >= 0 && x < n)
+
+let prop_curve_rate_between_endpoints =
+  QCheck.Test.make ~name:"interpolated rate within endpoint range" ~count:200
+    (QCheck.float_range 60. 604800.)
+    (fun secs ->
+      let r =
+        Rate.to_kib_per_sec (Batch_curve.rate cello_curve (Duration.seconds secs))
+      in
+      r <= 727. +. 1e-6 && r >= 317. -. 1e-6)
+
+let prop_unique_bytes_le_volume =
+  QCheck.Test.make ~name:"unique bytes <= raw volume" ~count:100
+    (QCheck.float_range 60. 86400.)
+    (fun secs ->
+      let win = Duration.seconds secs in
+      let unique = Workload.unique_bytes workload win in
+      let raw = Rate.over workload.Workload.avg_update_rate win in
+      Size.to_bytes unique <= Size.to_bytes raw +. 1.)
+
+let suite =
+  [
+    ( "workload.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "float in [0,1)" `Quick test_prng_float_range;
+        Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "exponential mean" `Slow test_prng_exponential_mean;
+        Alcotest.test_case "zipf skew" `Slow test_prng_zipf_bounds_and_skew;
+        Alcotest.test_case "zipf uniform at s=0" `Slow test_prng_zipf_uniform;
+        Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        qcheck prop_zipf_in_range;
+      ] );
+    ( "workload.batch_curve",
+      [
+        Alcotest.test_case "exact samples" `Quick test_curve_exact_samples;
+        Alcotest.test_case "clamping" `Quick test_curve_clamping;
+        Alcotest.test_case "interpolation bounded" `Quick
+          test_curve_interpolation_monotone;
+        Alcotest.test_case "unique bytes capacity cap" `Quick
+          test_curve_unique_bytes_cap;
+        Alcotest.test_case "validation" `Quick test_curve_validation;
+        Alcotest.test_case "constant curve" `Quick test_curve_constant;
+        Alcotest.test_case "power-law fit" `Quick test_curve_power_law_fit;
+        Alcotest.test_case "cello fit" `Quick test_curve_cello_fit_is_shallow;
+        qcheck prop_curve_rate_between_endpoints;
+      ] );
+    ( "workload.spec",
+      [
+        Alcotest.test_case "validation" `Quick test_workload_validation;
+        Alcotest.test_case "derived quantities" `Quick test_workload_derived;
+        Alcotest.test_case "growth scaling" `Quick test_workload_grow;
+        qcheck prop_unique_bytes_le_volume;
+      ] );
+    ( "workload.trace",
+      [
+        Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+        Alcotest.test_case "seed changes stream" `Quick test_trace_seed_changes;
+        Alcotest.test_case "sorted and bounded" `Quick
+          test_trace_times_sorted_and_bounded;
+        Alcotest.test_case "rate accuracy" `Slow test_trace_rate_accuracy;
+        Alcotest.test_case "of_events" `Quick test_trace_of_events;
+        Alcotest.test_case "profile validation" `Quick test_trace_validation;
+        Alcotest.test_case "csv roundtrip" `Quick test_trace_io_roundtrip;
+        Alcotest.test_case "csv error handling" `Quick test_trace_io_errors;
+        Alcotest.test_case "external text import" `Quick test_trace_import_text;
+        Alcotest.test_case "import error handling" `Quick
+          test_trace_import_errors;
+      ] );
+    ( "workload.trace_stats",
+      [
+        Alcotest.test_case "unique bytes monotone" `Quick
+          test_unique_bytes_monotone_in_window;
+        Alcotest.test_case "batch rate decreasing" `Quick
+          test_batch_rate_decreases_with_window;
+        Alcotest.test_case "burst multiplier" `Slow test_burst_multiplier_sane;
+        Alcotest.test_case "to_workload" `Quick test_to_workload;
+        Alcotest.test_case "curve from trace monotone" `Quick
+          test_batch_curve_from_trace_monotone;
+      ] );
+  ]
