@@ -7,7 +7,14 @@
      dune exec bench/main.exe table5          # one artifact
      dune exec bench/main.exe validate        # simulator-vs-model check
      dune exec bench/main.exe pareto          # design-space search ablation
-     dune exec bench/main.exe micro           # micro-benchmarks only *)
+     dune exec bench/main.exe micro           # micro-benchmarks only
+     dune exec bench/main.exe parallel        # multicore engine benchmark
+
+   The parallel mode times the design-space search over a few hundred
+   generated candidates — serial versus 2/4/8-domain Pool evaluation, and
+   an iterative three-pass what-if session serial-uncached versus the full
+   engine (domains + shared Eval_cache) — and writes the measurements to
+   BENCH_parallel.json. Wall-clock (Unix.gettimeofday), best of three. *)
 
 open Bechamel
 open Toolkit
@@ -351,6 +358,159 @@ let ablate () =
   ablate_growth ();
   ablate_tail_risk ()
 
+(* --- multicore evaluation-engine benchmark --- *)
+
+let parallel_kit =
+  {
+    Storage_optimize.Candidate.workload = Cello.workload;
+    business = Baseline.business;
+    primary = Baseline.disk_array;
+    tape_library = Baseline.tape_library;
+    vault = Baseline.vault;
+    remote_array = Baseline.remote_array;
+    san = Baseline.san;
+    shipment = Baseline.air_shipment;
+    wan = (fun links -> Baseline.oc3 ~links);
+  }
+
+(* A widened grid: a few hundred candidates, the scale §4.2's automated
+   what-if exploration is about. *)
+let parallel_space =
+  {
+    Storage_optimize.Candidate.default_space with
+    Storage_optimize.Candidate.pit_accumulations =
+      [ Duration.hours 2.; Duration.hours 6.; Duration.hours 12.;
+        Duration.hours 24. ];
+    pit_retentions = [ 2; 3; 4 ];
+    backup_accumulations =
+      [ Duration.hours 12.; Duration.hours 24.; Duration.hours 48.;
+        Duration.weeks 1. ];
+    vault_accumulations =
+      [ Duration.weeks 1.; Duration.weeks 2.; Duration.weeks 4. ];
+    mirror_links = [ 1; 2; 3; 4; 6; 8; 10 ];
+  }
+
+let time_best_of ?(repeats = 3) f =
+  let rec go best n =
+    if n = 0 then best
+    else begin
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      go (Float.min best dt) (n - 1)
+    end
+  in
+  go infinity repeats
+
+let parallel_bench () =
+  let module J = Storage_report.Json in
+  let module Search = Storage_optimize.Search in
+  let candidates =
+    Storage_optimize.Candidate.enumerate parallel_kit parallel_space
+  in
+  let scenarios = Baseline.scenarios in
+  let n = List.length candidates in
+  Printf.printf
+    "Multicore engine benchmark: %d candidates x %d scenarios (%d core(s) \
+     available)\n"
+    n (List.length scenarios)
+    (Storage_parallel.Pool.default_jobs ());
+  (* 1. One sweep of the whole space, serial vs 2/4/8 domains. *)
+  let serial_s = time_best_of (fun () -> Search.run ~jobs:1 candidates scenarios) in
+  Printf.printf "  search, serial:          %8.1f ms\n" (serial_s *. 1e3);
+  let by_jobs =
+    List.map
+      (fun jobs ->
+        let t = time_best_of (fun () -> Search.run ~jobs candidates scenarios) in
+        Printf.printf "  search, %d domains:       %8.1f ms  (%.2fx)\n" jobs
+          (t *. 1e3) (serial_s /. t);
+        (jobs, t))
+      [ 2; 4; 8 ]
+  in
+  (* 2. An iterative what-if session (§4.2): four overlapping passes — the
+     broad sweep, a re-run after adding longer-haul mirror candidates, a
+     re-ranking of the snapshot family, and a full re-rank once the analyst
+     has narrowed the objective. Serial-uncached pays full evaluation price
+     every pass; the engine (a Pool sized to the hardware plus a shared
+     Eval_cache) re-evaluates only what is new. *)
+  let extra =
+    Storage_optimize.Candidate.enumerate parallel_kit
+      { parallel_space with
+        Storage_optimize.Candidate.pit_techniques = [];
+        mirror_links = [ 12; 16; 20; 24 ] }
+  in
+  let is_snap (d : Design.t) =
+    String.length d.Design.name >= 4 && String.sub d.Design.name 0 4 = "snap"
+  in
+  let passes =
+    [ candidates; candidates @ extra; List.filter is_snap candidates;
+      candidates ]
+  in
+  let engine_jobs = min 4 (Storage_parallel.Pool.default_jobs ()) in
+  let session ~jobs ~share_cache () =
+    let cache = if share_cache then Some (Eval_cache.create ()) else None in
+    List.iter
+      (fun cs -> ignore (Sys.opaque_identity (Search.run ~jobs ?cache cs scenarios)))
+      passes
+  in
+  let session_serial = time_best_of (session ~jobs:1 ~share_cache:false) in
+  let session_engine =
+    time_best_of (session ~jobs:engine_jobs ~share_cache:true)
+  in
+  (* Re-run once more to report the cache's hit/miss profile. *)
+  let cache = Eval_cache.create () in
+  List.iter
+    (fun cs -> ignore (Search.run ~jobs:1 ~cache cs scenarios))
+    passes;
+  Printf.printf "  what-if session (4 passes), serial uncached: %8.1f ms\n"
+    (session_serial *. 1e3);
+  Printf.printf
+    "  what-if session (4 passes), engine (%d domain(s) + cache): %8.1f ms  \
+     (%.2fx, %d hits / %d misses)\n"
+    engine_jobs (session_engine *. 1e3)
+    (session_serial /. session_engine)
+    (Eval_cache.hits cache) (Eval_cache.misses cache);
+  let json =
+    J.Obj
+      [
+        ("mode", J.String "parallel");
+        ("cores", J.Int (Storage_parallel.Pool.default_jobs ()));
+        ("candidates", J.Int n);
+        ("scenarios", J.Int (List.length scenarios));
+        ( "single_sweep",
+          J.Obj
+            [
+              ("serial_seconds", J.Float serial_s);
+              ( "by_jobs",
+                J.List
+                  (List.map
+                     (fun (jobs, t) ->
+                       J.Obj
+                         [
+                           ("jobs", J.Int jobs);
+                           ("seconds", J.Float t);
+                           ("speedup", J.Float (serial_s /. t));
+                         ])
+                     by_jobs) );
+            ] );
+        ( "whatif_session",
+          J.Obj
+            [
+              ("passes", J.Int (List.length passes));
+              ("engine_jobs", J.Int engine_jobs);
+              ("serial_uncached_seconds", J.Float session_serial);
+              ("engine_cached_seconds", J.Float session_engine);
+              ("speedup", J.Float (session_serial /. session_engine));
+              ("cache_hits", J.Int (Eval_cache.hits cache));
+              ("cache_misses", J.Int (Eval_cache.misses cache));
+            ] );
+      ]
+  in
+  Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
+      output_string oc (J.to_string_pretty json);
+      output_char oc '\n');
+  print_endline "  wrote BENCH_parallel.json"
+
 (* --- micro-benchmarks --- *)
 
 let small_trace =
@@ -450,5 +610,6 @@ let () =
   | _ :: [ "micro" ] -> run_micro ()
   | _ :: [ "validate" ] -> validate ()
   | _ :: [ "pareto" ] -> pareto ()
+  | _ :: [ "parallel" ] -> parallel_bench ()
   | _ :: [ "ablate" ] -> ablate ()
   | _ :: names -> List.iter print_artifact names

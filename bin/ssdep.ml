@@ -59,6 +59,28 @@ let target_age_arg =
   in
   Arg.(value & opt float 0. & info [ "target-age" ] ~docv:"HOURS" ~doc)
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "invalid jobs count %S, expected a positive integer"
+              s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let jobs_arg =
+  let env =
+    Cmd.Env.info "SSDEP_JOBS" ~doc:"Default number of evaluation domains."
+  in
+  let doc =
+    "Evaluate on $(docv) domains in parallel (default 1 = serial). Results \
+     are identical to a serial run, whatever the value."
+  in
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+
 (* --- tables --- *)
 
 let tables_cmd =
@@ -255,7 +277,7 @@ let simulate_cmd =
     in
     Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
   in
-  let run design scope target_age warmup sweep outage trace =
+  let run design scope target_age warmup sweep outage trace jobs =
     match find_design design with
     | Error e -> Error e
     | Ok d -> (
@@ -308,7 +330,8 @@ let simulate_cmd =
                 Duration.hours (float_of_int (i + 1) *. 168. /. float_of_int sweep))
           in
           let runs =
-            Storage_sim.Sim.sweep_failure_phase ~config d scenario ~offsets
+            Storage_sim.Sim.sweep_failure_phase ~jobs ~config d scenario
+              ~offsets
           in
           List.iteri
             (fun i m -> show (Printf.sprintf "sweep %2d" (i + 1)) m)
@@ -319,7 +342,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ design_arg $ scope_arg $ target_age_arg $ warmup $ sweep
-      $ outage $ trace)
+      $ outage $ trace $ jobs_arg)
   in
   let info =
     Cmd.info "simulate"
@@ -340,7 +363,7 @@ let optimize_cmd =
     let doc = "Recovery point objective in hours (constraint)." in
     Arg.(value & opt (some float) None & info [ "rpo" ] ~docv:"HOURS" ~doc)
   in
-  let run rto rpo =
+  let run rto rpo jobs =
     let business =
       Business.make
         ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
@@ -367,11 +390,11 @@ let optimize_cmd =
         Storage_optimize.Candidate.default_space
     in
     let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
-    let result = Storage_optimize.Search.run candidates scenarios in
+    let result = Storage_optimize.Search.run ~jobs candidates scenarios in
     Fmt.pr "%a@." Storage_optimize.Search.pp result;
     Ok ()
   in
-  let term = Term.(const run $ rto $ rpo) in
+  let term = Term.(const run $ rto $ rpo $ jobs_arg) in
   let info =
     Cmd.info "optimize"
       ~doc:

@@ -10,10 +10,12 @@ type t = {
   hierarchy : Hierarchy.t;
   business : Business.t;
   background : (string * Demand.labeled list) list;
+  fingerprint_memo : string option Atomic.t;
 }
 
 let make ~name ~workload ~hierarchy ~business ?(background = []) () =
-  { name; workload; hierarchy; business; background }
+  { name; workload; hierarchy; business; background;
+    fingerprint_memo = Atomic.make None }
 
 let primary_raid t =
   match (Hierarchy.primary t.hierarchy).Hierarchy.technique with
@@ -145,6 +147,26 @@ let validate t =
       end)
     (Hierarchy.levels t.hierarchy);
   match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let fingerprint t =
+  match Atomic.get t.fingerprint_memo with
+  | Some fp -> fp
+  | None ->
+    (* Designs are pure data (no closures, no custom blocks beyond floats),
+       so a structural serialization is a canonical key: [No_sharing] makes
+       the bytes depend only on the structure, never on how the value was
+       built, and structurally distinct designs cannot collide before the
+       digest. The memo field is excluded from the digested bytes; domains
+       racing here write equal strings, which is harmless. *)
+    let fp =
+      Digest.to_hex
+        (Digest.string
+           (Marshal.to_string
+              (t.name, t.workload, t.hierarchy, t.business, t.background)
+              [ Marshal.No_sharing ]))
+    in
+    Atomic.set t.fingerprint_memo (Some fp);
+    fp
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>design %s:@,%a@,%a@,business: %a@]" t.name Workload.pp

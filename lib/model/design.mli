@@ -21,6 +21,9 @@ type t = private {
       (** demands other tenants place on this design's devices (device name
           -> labeled demands); they consume capacity and bandwidth but are
           not billed to this design (see {!Portfolio}) *)
+  fingerprint_memo : string option Atomic.t;
+      (** internal memo backing {!fingerprint}; not a design parameter and
+          excluded from the fingerprint itself *)
 }
 
 val make :
@@ -63,6 +66,14 @@ val link_demand : t -> Interconnect.t -> Rate.t
 val primary_technique_of_device : t -> Device.t -> string
 (** Name of the technique that "owns" a device for cost allocation
     (§3.3.5): the lowest hierarchy level hosted on it. *)
+
+val fingerprint : t -> string
+(** A canonical hex digest of the design's entire structure (workload,
+    hierarchy, business requirements, background load). Structurally equal
+    designs always share a fingerprint, however they were constructed;
+    designs differing in any parameter (almost surely) do not. Used with
+    {!Scenario.fingerprint} to key the evaluation memo-cache
+    ({!Eval_cache}). *)
 
 val validate : t -> (unit, string list) result
 (** Full design validation: hierarchy warnings are not errors, but the

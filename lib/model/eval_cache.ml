@@ -1,0 +1,19 @@
+open Storage_parallel
+
+type t = Evaluate.report Memo.t
+
+let create () = Memo.create ~size:256 ()
+
+let key design scenario =
+  Design.fingerprint design ^ ":" ^ Scenario.fingerprint scenario
+
+let run t design scenario =
+  Memo.find_or_add t (key design scenario) (fun () ->
+      Evaluate.run design scenario)
+
+let run_all t design scenarios = List.map (run t design) scenarios
+
+let length t = Memo.length t
+let hits t = Memo.hits t
+let misses t = Memo.misses t
+let clear t = Memo.clear t

@@ -1,0 +1,34 @@
+(** Memoized evaluation, keyed by canonical (design, scenario) fingerprints.
+
+    {!Evaluate.run} is a pure function, and the outer exploration loops —
+    design-space search, sensitivity sweeps, iterative what-if sessions
+    (§4.2), portfolio evaluation — routinely revisit identical (design,
+    scenario) pairs. A cache evaluates each pair once and shares the
+    report, across calls and across the domains of a
+    {!Storage_parallel.Pool} (the underlying {!Storage_parallel.Memo} is
+    thread-safe).
+
+    Keys are {!Design.fingerprint} + {!Scenario.fingerprint}: purely
+    structural, so it never matters how or where a design was built. A
+    cached report is the very value a fresh evaluation would produce —
+    callers cannot observe the cache except as saved time. *)
+
+type t
+
+val create : unit -> t
+
+val key : Design.t -> Scenario.t -> string
+(** The cache key: both fingerprints, joined. *)
+
+val run : t -> Design.t -> Scenario.t -> Evaluate.report
+(** Memoized {!Evaluate.run}. *)
+
+val run_all : t -> Design.t -> Scenario.t list -> Evaluate.report list
+(** Memoized {!Evaluate.run_all}. *)
+
+val length : t -> int
+(** Distinct (design, scenario) pairs evaluated so far. *)
+
+val hits : t -> int
+val misses : t -> int
+val clear : t -> unit

@@ -133,8 +133,15 @@ let outlays t =
   in
   (per_member, Money.sum (List.map snd per_member))
 
-let evaluate t scenario =
-  List.map (fun m -> (m.Design.name, Evaluate.run m scenario)) t.members
+let evaluate ?(jobs = 1) ?cache t scenario =
+  let eval =
+    match cache with
+    | None -> fun m -> Evaluate.run m scenario
+    | Some c -> fun m -> Eval_cache.run c m scenario
+  in
+  Storage_parallel.Pool.map ~jobs
+    (fun (m : Design.t) -> (m.Design.name, eval m))
+    t.members
 
 let pp ppf t =
   let per_member, total = outlays t in

@@ -44,10 +44,14 @@ val outlays : t -> (string * Money.t) list * Money.t
     member hosted on each device; later tenants pay incremental capacity
     and bandwidth only. *)
 
-val evaluate : t -> Scenario.t -> (string * Evaluate.report) list
+val evaluate :
+  ?jobs:int -> ?cache:Eval_cache.t -> t -> Scenario.t ->
+  (string * Evaluate.report) list
 (** Evaluates every member under the scenario. Each member's recovery
     competes with the others' normal-mode traffic (via the background
     demands), which is the conservative reading of a shared-infrastructure
-    disaster. *)
+    disaster. [?jobs] (default 1 = serial) spreads members over a
+    {!Storage_parallel.Pool}; results are in member order regardless.
+    [?cache] memoizes member evaluations across calls. *)
 
 val pp : t Fmt.t

@@ -18,6 +18,9 @@ let make ~scope ?(target_age = Duration.zero) ?object_size () =
 
 let now scope = make ~scope ()
 
+let fingerprint t =
+  Digest.to_hex (Digest.string (Marshal.to_string t [ Marshal.No_sharing ]))
+
 let pp ppf t =
   Fmt.pf ppf "%a, target now - %a%a" Location.pp_scope t.scope Duration.pp
     t.target_age

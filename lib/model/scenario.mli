@@ -28,4 +28,8 @@ val make :
 val now : Location.scope -> t
 (** Restoration to the instant before the failure. *)
 
+val fingerprint : t -> string
+(** Canonical hex digest of the scenario's structure; the scenario half of
+    the {!Eval_cache} key (see {!Design.fingerprint}). *)
+
 val pp : t Fmt.t

@@ -12,9 +12,13 @@ type summary = {
   feasible : bool;
 }
 
-let summarize design scenarios =
+let summarize ?cache design scenarios =
   if scenarios = [] then invalid_arg "Objective.summarize: no scenarios";
-  let reports = Evaluate.run_all design scenarios in
+  let reports =
+    match cache with
+    | None -> Evaluate.run_all design scenarios
+    | Some c -> Eval_cache.run_all c design scenarios
+  in
   let outlays = (List.hd reports).Evaluate.outlays.Cost.total in
   let worst_recovery_time =
     List.fold_left

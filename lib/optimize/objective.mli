@@ -21,7 +21,9 @@ type summary = {
           specified RTO/RPO met in every scenario *)
 }
 
-val summarize : Design.t -> Scenario.t list -> summary
-(** Raises [Invalid_argument] on an empty scenario list. *)
+val summarize : ?cache:Eval_cache.t -> Design.t -> Scenario.t list -> summary
+(** Raises [Invalid_argument] on an empty scenario list. [?cache] memoizes
+    the per-(design, scenario) evaluations; the summary is identical with
+    or without it. *)
 
 val pp : summary Fmt.t

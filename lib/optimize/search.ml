@@ -1,4 +1,5 @@
 open Storage_units
+open Storage_model
 
 type result = {
   evaluated : Objective.summary list;
@@ -7,11 +8,18 @@ type result = {
   best : Objective.summary option;
 }
 
-let run candidates scenarios =
+let run ?(jobs = 1) ?cache candidates scenarios =
   if candidates = [] then invalid_arg "Search.run: no candidate designs";
   if scenarios = [] then invalid_arg "Search.run: no scenarios";
+  (* Search always evaluates through a memo-cache (a fresh one unless the
+     caller shares a session-level cache): duplicated candidates cost one
+     evaluation, and an iterative what-if session that re-runs the search
+     with an overlapping candidate set pays only for the new designs. *)
+  let cache = match cache with Some c -> c | None -> Eval_cache.create () in
   let evaluated =
-    List.map (fun d -> Objective.summarize d scenarios) candidates
+    Storage_parallel.Pool.map ~jobs
+      (fun d -> Objective.summarize ~cache d scenarios)
+      candidates
   in
   let feasible =
     List.filter (fun s -> s.Objective.feasible) evaluated

@@ -14,8 +14,22 @@ type result = {
       (** cheapest feasible design by worst-case total cost *)
 }
 
-val run : Design.t list -> Scenario.t list -> result
-(** Raises [Invalid_argument] on empty candidates or scenarios. *)
+val run :
+  ?jobs:int -> ?cache:Eval_cache.t -> Design.t list -> Scenario.t list ->
+  result
+(** Raises [Invalid_argument] on empty candidates or scenarios.
+
+    [?jobs] (default 1 = serial) evaluates candidates on that many domains
+    via {!Storage_parallel.Pool}; every list of the result is in the same
+    (input-derived) order whatever [jobs] is, and the summaries are
+    identical to a serial run's — evaluation is pure, and workers only
+    fill disjoint slots of the result.
+
+    Evaluations go through an {!Eval_cache} keyed by structural
+    fingerprints, so duplicate candidates are evaluated once. Pass
+    [?cache] to share that cache across successive searches of an
+    iterative what-if session: re-visited candidates cost a lookup, not an
+    evaluation. The cache never changes any metric. *)
 
 val pp : result Fmt.t
 (** Prints the frontier and the winner. *)

@@ -20,14 +20,21 @@ let point_of_report value (r : Evaluate.report) =
     total_cost = r.Evaluate.total_cost;
   }
 
-let sweep build ~values scenario =
+let sweep ?(jobs = 1) ?cache build ~values scenario =
   if values = [] then invalid_arg "Sensitivity.sweep: no values";
-  List.map (fun v -> point_of_report v (Evaluate.run (build v) scenario)) values
+  let eval =
+    match cache with
+    | None -> fun d -> Evaluate.run d scenario
+    | Some c -> fun d -> Eval_cache.run c d scenario
+  in
+  Storage_parallel.Pool.map ~jobs
+    (fun v -> point_of_report v (eval (build v)))
+    values
 
-let crossover build_a ~values scenario ~metric ~against =
+let crossover ?jobs ?cache build_a ~values scenario ~metric ~against =
   if values = [] then invalid_arg "Sensitivity.crossover: no values";
-  let a = sweep build_a ~values scenario in
-  let b = sweep against ~values scenario in
+  let a = sweep ?jobs ?cache build_a ~values scenario in
+  let b = sweep ?jobs ?cache against ~values scenario in
   List.find_opt
     (fun (pa, pb) -> metric pa >= metric pb)
     (List.combine a b)

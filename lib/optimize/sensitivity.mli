@@ -19,12 +19,23 @@ type point = {
 }
 
 val sweep :
-  (float -> Design.t) -> values:float list -> Scenario.t -> point list
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
+  (float -> Design.t) ->
+  values:float list ->
+  Scenario.t ->
+  point list
 (** [sweep build ~values scenario] evaluates [build v] under [scenario]
     for each [v], in order. Raises [Invalid_argument] on an empty value
-    list. *)
+    list. [?jobs] (default 1 = serial) evaluates points on that many
+    domains — [build] must therefore be pure, as the enumeration
+    constructors are; point order and values are unaffected. [?cache]
+    memoizes evaluations, e.g. across the two families of {!crossover} or
+    across repeated sweeps of a what-if session. *)
 
 val crossover :
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
   (float -> Design.t) ->
   values:float list ->
   Scenario.t ->

@@ -1,0 +1,64 @@
+type 'a t = {
+  lock : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 64) () =
+  { lock = Mutex.create (); table = Hashtbl.create size; hits = 0; misses = 0 }
+
+let find_or_add t key compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.lock;
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock;
+    let v = compute () in
+    Mutex.lock t.lock;
+    let v =
+      (* Another domain may have raced us here; keep the first insert so
+         every caller shares one value. *)
+      match Hashtbl.find_opt t.table key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add t.table key v;
+        v
+    in
+    Mutex.unlock t.lock;
+    v
+
+let find t key =
+  Mutex.lock t.lock;
+  let v = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.lock;
+  v
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+let hits t =
+  Mutex.lock t.lock;
+  let n = t.hits in
+  Mutex.unlock t.lock;
+  n
+
+let misses t =
+  Mutex.lock t.lock;
+  let n = t.misses in
+  Mutex.unlock t.lock;
+  n
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock

@@ -1,0 +1,35 @@
+(** A concurrent string-keyed memo table.
+
+    Backs the evaluation cache: design-space search, sensitivity sweeps and
+    portfolio evaluation repeatedly evaluate identical (design, scenario)
+    pairs, and their evaluations are pure, so results can be computed once
+    and shared — including across the domains of a {!Pool}.
+
+    All operations are thread-safe (a single [Mutex] guards the table; the
+    user-supplied compute function runs {e outside} the lock). When two
+    domains race to fill the same key, both compute but the first insert
+    wins and every caller observes that single value thereafter; for the
+    pure functions this caches, the race is only a little wasted work,
+    never a semantic difference. *)
+
+type 'a t
+
+val create : ?size:int -> unit -> 'a t
+(** [size] is the initial table sizing hint (default 64). *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t key compute] returns the cached value for [key], or runs
+    [compute ()], caches it, and returns it. If [compute] raises, nothing
+    is cached and the exception propagates. *)
+
+val find : 'a t -> string -> 'a option
+val length : 'a t -> int
+
+val hits : 'a t -> int
+(** Lookups answered from the table since creation (or [clear]). *)
+
+val misses : 'a t -> int
+(** Lookups that had to compute. *)
+
+val clear : 'a t -> unit
+(** Empties the table and resets the hit/miss counters. *)

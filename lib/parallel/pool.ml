@@ -1,0 +1,154 @@
+(* Domain pool: a Mutex/Condition work queue feeding [jobs - 1] spawned
+   domains, with the submitting domain helping on its own batches.
+
+   Memory-model note: workers write batch results into disjoint slots of a
+   shared array and then decrement the batch counter under the pool mutex;
+   the submitter only reads the array after observing the counter hit zero
+   under the same mutex, so every write happens-before every read. *)
+
+type batch = {
+  mutable remaining : int;  (* chunks not yet finished *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+      (* failed input of the smallest index seen so far *)
+  mutable cancelled : bool;
+  finished : Condition.t;  (* signalled when [remaining] reaches zero *)
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when the queue grows or on shutdown *)
+  queue : (unit -> unit) Queue.t;  (* tasks never raise *)
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closing do
+      Condition.wait t.work t.lock
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+      (* closing, and the queue is drained *)
+      Mutex.unlock t.lock
+    | Some task ->
+      Mutex.unlock t.lock;
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+      jobs;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  t.closing <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Called with [t.lock] held. *)
+let record_failure batch i exn bt =
+  (match batch.failure with
+  | Some (j, _, _) when j <= i -> ()
+  | Some _ | None -> batch.failure <- Some (i, exn, bt));
+  batch.cancelled <- true
+
+let map_on ?chunk t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+      | None -> max 1 (n / (t.jobs * 4))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let results = Array.make n None in
+    let batch =
+      { remaining = nchunks; failure = None; cancelled = false;
+        finished = Condition.create () }
+    in
+    let run_chunk start =
+      Mutex.lock t.lock;
+      let cancelled = batch.cancelled in
+      Mutex.unlock t.lock;
+      if not cancelled then
+        for i = start to min n (start + chunk) - 1 do
+          match f input.(i) with
+          | y -> results.(i) <- Some y
+          | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.lock;
+            record_failure batch i exn bt;
+            Mutex.unlock t.lock
+        done;
+      Mutex.lock t.lock;
+      batch.remaining <- batch.remaining - 1;
+      if batch.remaining = 0 then Condition.broadcast batch.finished;
+      Mutex.unlock t.lock
+    in
+    Mutex.lock t.lock;
+    for c = 0 to nchunks - 1 do
+      Queue.add (fun () -> run_chunk (c * chunk)) t.queue
+    done;
+    Condition.broadcast t.work;
+    (* Help until this batch completes; tasks popped here may belong to
+       other batches, which is fine — somebody has to run them. *)
+    let rec help () =
+      if batch.remaining > 0 then
+        match Queue.take_opt t.queue with
+        | Some task ->
+          Mutex.unlock t.lock;
+          task ();
+          Mutex.lock t.lock;
+          help ()
+        | None ->
+          Condition.wait batch.finished t.lock;
+          help ()
+    in
+    help ();
+    Mutex.unlock t.lock;
+    (match batch.failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) results)
+
+let map ?chunk ~jobs f xs =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    if jobs = 1 then List.map f xs
+    else with_pool ~jobs (fun t -> map_on ?chunk t f xs)

@@ -1,0 +1,65 @@
+(** A fixed-size OCaml 5 domain pool with a shared work queue.
+
+    The evaluation hot paths of the framework — design-space search,
+    sensitivity sweeps, portfolio evaluation, failure-phase sweeps — are
+    embarrassingly parallel: every (design, scenario) evaluation is a pure
+    function of its inputs. This module runs such workloads across
+    [Domain]s coordinated by a [Mutex]/[Condition] work queue, using only
+    the standard library.
+
+    Guarantees:
+    - {b Deterministic results}: [map] returns results in input order, and
+      each result is produced by applying [f] to the corresponding input
+      exactly as the serial [List.map f] would (workers write into disjoint
+      slots of a pre-sized result array). [map ~jobs:1] {e is}
+      [List.map].
+    - {b Chunked scheduling}: inputs are dealt to workers in contiguous
+      chunks so that short tasks do not drown in queue traffic; the chunk
+      size adapts to the input length, or can be forced with [?chunk].
+    - {b First-exception propagation}: if [f] raises, the batch is
+      cancelled (chunks not yet started are skipped), the pool is drained,
+      and the exception of the {e smallest} input index among those
+      evaluated is re-raised with its backtrace in the calling domain.
+
+    The submitting domain participates in every batch, so a pool of [jobs]
+    computes on [jobs] domains in total ([jobs - 1] spawned workers plus
+    the caller). *)
+
+type t
+(** A pool of worker domains. A pool may be reused for many [map_on]
+    batches (amortizing domain spawn cost) and must be [shutdown] when no
+    longer needed. Submitting from several domains at once is supported;
+    shutting down while a batch is in flight is not. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains. Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val size : t -> int
+(** The [jobs] the pool was created with. *)
+
+val shutdown : t -> unit
+(** Drains the queue, stops the workers and joins their domains.
+    Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool, shutting it down on the
+    way out (including on exceptions). *)
+
+val map_on : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_on pool f xs] is [List.map f xs], computed on the pool's domains.
+    [?chunk] forces the scheduling granularity (default: input length
+    divided by four times the pool size, at least 1). Raises
+    [Invalid_argument] when [chunk < 1]; re-raises the first exception of
+    [f] as described above. Lists of length [<= 1] are mapped inline in
+    the calling domain. *)
+
+val map : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [map ~jobs f xs] creates a pool, maps, and shuts
+    the pool down (also on exceptions). [~jobs:1] short-circuits to
+    [List.map f xs] with no domain machinery. Raises [Invalid_argument]
+    when [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible [~jobs] for this
+    machine. *)

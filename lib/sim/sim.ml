@@ -617,8 +617,11 @@ let run ?(config = default_config) design scenario =
       List.rev_map (fun (t, m) -> (Duration.seconds t, m)) st.events;
   }
 
-let sweep_failure_phase ?(config = default_config) design scenario ~offsets =
-  List.map
+let sweep_failure_phase ?(jobs = 1) ?(config = default_config) design scenario
+    ~offsets =
+  (* Each offset is an independent simulation over its own state, so the
+     sweep parallelizes trivially; results stay in offset order. *)
+  Storage_parallel.Pool.map ~jobs
     (fun offset ->
       let config =
         { config with warmup = Duration.add config.warmup offset }

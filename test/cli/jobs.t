@@ -1,0 +1,38 @@
+The design-space search gives identical output whatever the number of
+evaluation domains — parallelism never changes a result, only the time:
+
+  $ ssdep optimize --jobs 1 > serial.out
+  $ ssdep optimize --jobs 4 > parallel.out
+  $ diff serial.out parallel.out
+
+The SSDEP_JOBS environment variable supplies the default:
+
+  $ SSDEP_JOBS=4 ssdep optimize > env.out
+  $ diff serial.out env.out
+
+Invalid job counts are rejected up front with a clear message:
+
+  $ ssdep optimize --jobs 0
+  ssdep: option '--jobs': invalid jobs count "0", expected a positive integer
+  Usage: ssdep optimize [--jobs=N] [--rpo=HOURS] [--rto=HOURS] [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+  $ ssdep optimize --jobs=-3
+  ssdep: option '--jobs': invalid jobs count "-3", expected a positive integer
+  Usage: ssdep optimize [--jobs=N] [--rpo=HOURS] [--rto=HOURS] [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+  $ ssdep optimize --jobs banana
+  ssdep: option '--jobs': invalid jobs count "banana", expected a positive
+         integer
+  Usage: ssdep optimize [--jobs=N] [--rpo=HOURS] [--rto=HOURS] [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+The failure-phase sweep of the simulator accepts the same flag:
+
+  $ ssdep simulate -s array --sweep 4 --jobs 2 > sweep2.out
+  $ ssdep simulate -s array --sweep 4 --jobs 1 > sweep1.out
+  $ diff sweep1.out sweep2.out

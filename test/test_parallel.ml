@@ -1,0 +1,318 @@
+(* The multicore evaluation engine: Pool.map determinism and stress tests,
+   Memo/Eval_cache semantics, and property proofs that every parallel entry
+   point (search, sensitivity, portfolio, failure-phase sweep) is
+   byte-identical to its serial run. *)
+
+open Storage_units
+open Storage_model
+open Storage_optimize
+open Storage_presets
+open Storage_parallel
+
+let pool_designs = Test_random_designs.pool
+let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ]
+
+(* Structural equality down to the last byte. [No_sharing] makes the bytes
+   independent of how values were built; both sides are marshaled only
+   after both runs complete, so the designs' fingerprint memos (filled by
+   whichever run came first, shared physically by both results) agree. *)
+let bytes_of x = Marshal.to_string x [ Marshal.No_sharing ]
+
+let check_same_bytes msg a b =
+  Alcotest.(check bool) msg true (String.equal (bytes_of a) (bytes_of b))
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map *)
+
+let square x = x * x
+
+let test_map_matches_list_map () =
+  List.iter
+    (fun n ->
+      let xs = List.init n (fun i -> i - 3) in
+      let expected = List.map square xs in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "map n=%d jobs=%d" n jobs)
+            expected
+            (Pool.map ~jobs square xs))
+        [ 1; 2; 4; 7 ])
+    [ 0; 1; 2; 3; 5; 17; 100 ]
+
+let test_map_jobs_exceed_length () =
+  (* More domains than work: every result still lands in its input slot. *)
+  let xs = [ 10; 20; 30 ] in
+  Alcotest.(check (list int))
+    "jobs=8 over 3 elements" (List.map square xs)
+    (Pool.map ~jobs:8 square xs)
+
+let test_map_forced_chunks () =
+  let xs = List.init 23 Fun.id in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunk=%d" chunk)
+        (List.map square xs)
+        (Pool.map ~chunk ~jobs:3 square xs))
+    [ 1; 2; 23; 100 ]
+
+let test_map_applies_each_input_once () =
+  let calls = Atomic.make 0 in
+  let xs = List.init 57 Fun.id in
+  let ys =
+    Pool.map ~jobs:4
+      (fun x ->
+        Atomic.incr calls;
+        x + 1)
+      xs
+  in
+  Alcotest.(check int) "one application per input" 57 (Atomic.get calls);
+  Alcotest.(check (list int)) "results" (List.map succ xs) ys
+
+let test_invalid_arguments () =
+  Helpers.check_raises_invalid "jobs=0" (fun () ->
+      Pool.map ~jobs:0 square [ 1 ]);
+  Helpers.check_raises_invalid "jobs=-2" (fun () -> Pool.create ~jobs:(-2));
+  Helpers.check_raises_invalid "chunk=0" (fun () ->
+      Pool.with_pool ~jobs:2 (fun p -> Pool.map_on ~chunk:0 p square [ 1; 2 ]))
+
+let test_exception_propagation () =
+  (* Every element raises. Serially, and with everything in one chunk, the
+     smallest-evaluated-index rule is deterministic: index 0. With many
+     chunks racing, the winning index can vary, but it is always one of the
+     inputs'. *)
+  let all_raise i : int = failwith (string_of_int i) in
+  let xs = List.init 40 Fun.id in
+  (match Pool.map ~jobs:1 all_raise xs with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "serial" "0" msg);
+  (match Pool.map ~jobs:4 ~chunk:40 all_raise xs with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "single chunk" "0" msg);
+  (match Pool.map ~jobs:4 all_raise xs with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> (
+    match int_of_string_opt msg with
+    | Some i when i >= 0 && i < 40 -> ()
+    | _ -> Alcotest.failf "unexpected failure index %S" msg));
+  (* A single raising element: its exception is the one the caller sees. *)
+  let one_raises x = if x = 11 then failwith "eleven" else x in
+  (match Pool.map ~jobs:4 one_raises (List.init 30 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "sole failure" "eleven" msg)
+
+let test_pool_survives_batch_failure () =
+  (* Cancellation is per-batch: after a failed map_on, the same pool still
+     runs clean batches. *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      (match Pool.map_on p (fun _ -> failwith "boom") [ 1; 2; 3; 4 ] with
+      | (_ : int list) -> Alcotest.fail "expected Failure"
+      | exception Failure _ -> ());
+      let xs = List.init 20 Fun.id in
+      Alcotest.(check (list int))
+        "pool usable after failure" (List.map square xs)
+        (Pool.map_on p square xs))
+
+let test_pool_reuse_many_batches () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      for round = 1 to 25 do
+        let xs = List.init (round * 3) (fun i -> i * round) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map square xs) (Pool.map_on p square xs)
+      done)
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~jobs:3 in
+  Alcotest.(check int) "size" 3 (Pool.size p);
+  Pool.shutdown p;
+  Pool.shutdown p
+
+(* ------------------------------------------------------------------ *)
+(* Memo *)
+
+let test_memo_computes_once () =
+  let m = Memo.create () in
+  let computed = ref 0 in
+  let compute () = incr computed; !computed * 10 in
+  Alcotest.(check int) "first" 10 (Memo.find_or_add m "k" compute);
+  Alcotest.(check int) "second (cached)" 10 (Memo.find_or_add m "k" compute);
+  Alcotest.(check int) "computed once" 1 !computed;
+  Alcotest.(check int) "hits" 1 (Memo.hits m);
+  Alcotest.(check int) "misses" 1 (Memo.misses m);
+  Alcotest.(check (option int)) "find" (Some 10) (Memo.find m "k");
+  Alcotest.(check (option int)) "find absent" None (Memo.find m "absent");
+  Alcotest.(check int) "length" 1 (Memo.length m)
+
+let test_memo_failed_compute_caches_nothing () =
+  let m = Memo.create () in
+  (match Memo.find_or_add m "k" (fun () -> failwith "no") with
+  | (_ : int) -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  Alcotest.(check (option int)) "nothing cached" None (Memo.find m "k");
+  Alcotest.(check int) "retry computes" 7 (Memo.find_or_add m "k" (fun () -> 7))
+
+let test_memo_clear () =
+  let m = Memo.create () in
+  ignore (Memo.find_or_add m "a" (fun () -> 1));
+  ignore (Memo.find_or_add m "a" (fun () -> 1));
+  Memo.clear m;
+  Alcotest.(check int) "length" 0 (Memo.length m);
+  Alcotest.(check int) "hits" 0 (Memo.hits m);
+  Alcotest.(check int) "misses" 0 (Memo.misses m)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+let test_fingerprint_structural () =
+  (* Independently enumerated but structurally equal designs share a
+     fingerprint; distinct candidates (almost surely) do not. *)
+  let again = Test_random_designs.pool_again () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string)
+        ("same structure, same fingerprint: " ^ a.Design.name)
+        (Design.fingerprint a) (Design.fingerprint b))
+    pool_designs again;
+  let fps = List.map Design.fingerprint pool_designs in
+  let distinct = List.sort_uniq String.compare fps in
+  Alcotest.(check int)
+    "distinct designs, distinct fingerprints" (List.length fps)
+    (List.length distinct)
+
+let test_scenario_fingerprint_distinct () =
+  Alcotest.(check bool)
+    "array vs site scenarios differ" false
+    (String.equal
+       (Scenario.fingerprint Baseline.scenario_array)
+       (Scenario.fingerprint Baseline.scenario_site))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel == serial, and the cache never changes a metric *)
+
+(* ~200 seeded random designs drawn (with repetition, exercising the
+   cache's dedup) from the enumerated pool. *)
+let seeded_candidates =
+  let st = Random.State.make [| 0x5DE9; 2004 |] in
+  let n = List.length pool_designs in
+  List.init 200 (fun _ -> List.nth pool_designs (Random.State.int st n))
+
+let test_search_parallel_equals_serial () =
+  let serial = Search.run ~jobs:1 seeded_candidates scenarios in
+  let par = Search.run ~jobs:4 seeded_candidates scenarios in
+  check_same_bytes "evaluated" serial.Search.evaluated par.Search.evaluated;
+  check_same_bytes "feasible" serial.Search.feasible par.Search.feasible;
+  check_same_bytes "frontier" serial.Search.frontier par.Search.frontier;
+  check_same_bytes "best" serial.Search.best par.Search.best
+
+let test_search_shared_cache_equals_fresh () =
+  (* A session cache carried across searches changes nothing but time. *)
+  let cache = Eval_cache.create () in
+  let first = Search.run ~jobs:2 ~cache seeded_candidates scenarios in
+  let second = Search.run ~jobs:2 ~cache seeded_candidates scenarios in
+  let fresh = Search.run ~jobs:1 seeded_candidates scenarios in
+  check_same_bytes "warm cache, same result" first.Search.evaluated
+    second.Search.evaluated;
+  check_same_bytes "cached vs uncached" fresh.Search.evaluated
+    first.Search.evaluated;
+  Alcotest.(check bool) "second pass all hits" true (Eval_cache.misses cache > 0
+  && Eval_cache.hits cache > Eval_cache.misses cache)
+
+let test_cache_reports_identical () =
+  let cache = Eval_cache.create () in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun sc ->
+          let direct = Evaluate.run d sc in
+          let cached = Eval_cache.run cache d sc in
+          check_same_bytes ("report: " ^ d.Design.name) direct cached;
+          (* The hit path returns the very same report. *)
+          Alcotest.(check bool) "hit is physically shared" true
+            (cached == Eval_cache.run cache d sc))
+        scenarios)
+    pool_designs
+
+let test_sensitivity_parallel_equals_serial () =
+  let n = List.length pool_designs in
+  let build v = List.nth pool_designs (int_of_float v mod n) in
+  let values = List.init 24 float_of_int in
+  let serial = Sensitivity.sweep ~jobs:1 build ~values Baseline.scenario_array in
+  let par = Sensitivity.sweep ~jobs:4 build ~values Baseline.scenario_array in
+  check_same_bytes "sweep points" serial par
+
+let test_portfolio_parallel_equals_serial () =
+  (* Two members on the same hardware, evaluated per-member in parallel. *)
+  let rename name (d : Design.t) =
+    Design.make ~name ~workload:d.Design.workload ~hierarchy:d.Design.hierarchy
+      ~business:d.Design.business ~background:d.Design.background ()
+  in
+  let a = rename "tenant-a" (List.nth pool_designs 0) in
+  let b = rename "tenant-b" (List.nth pool_designs 1) in
+  let p = Portfolio.make_exn [ a; b ] in
+  let serial = Portfolio.evaluate ~jobs:1 p Baseline.scenario_array in
+  let par = Portfolio.evaluate ~jobs:4 p Baseline.scenario_array in
+  check_same_bytes "portfolio reports" serial par
+
+let test_sim_sweep_parallel_equals_serial () =
+  let d = List.nth pool_designs 2 in
+  let config =
+    { Storage_sim.Sim.warmup = Duration.weeks 10.; log = false; outage = None;
+      record_events = false }
+  in
+  let offsets =
+    [ Duration.zero; Duration.hours 1.; Duration.hours 6.; Duration.hours 13.;
+      Duration.hours 26. ]
+  in
+  let serial =
+    Storage_sim.Sim.sweep_failure_phase ~jobs:1 ~config d
+      Baseline.scenario_array ~offsets
+  in
+  let par =
+    Storage_sim.Sim.sweep_failure_phase ~jobs:4 ~config d
+      Baseline.scenario_array ~offsets
+  in
+  check_same_bytes "failure-phase sweep" serial par
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "parallel_pool",
+      [
+        t "map matches List.map across jobs and sizes" test_map_matches_list_map;
+        t "more domains than inputs" test_map_jobs_exceed_length;
+        t "forced chunk sizes" test_map_forced_chunks;
+        t "each input applied exactly once" test_map_applies_each_input_once;
+        t "invalid jobs/chunk rejected" test_invalid_arguments;
+        t "first exception propagates" test_exception_propagation;
+        t "pool survives a failed batch" test_pool_survives_batch_failure;
+        t "pool reused across many batches" test_pool_reuse_many_batches;
+        t "shutdown is idempotent" test_shutdown_idempotent;
+      ] );
+    ( "parallel_memo",
+      [
+        t "computes once, then hits" test_memo_computes_once;
+        t "failed compute caches nothing" test_memo_failed_compute_caches_nothing;
+        t "clear resets table and counters" test_memo_clear;
+      ] );
+    ( "parallel_engine",
+      [
+        t "fingerprints are structural" test_fingerprint_structural;
+        t "scenario fingerprints distinguish scenarios"
+          test_scenario_fingerprint_distinct;
+        t "search: 4 domains byte-identical to serial (200 seeded designs)"
+          test_search_parallel_equals_serial;
+        t "search: shared session cache changes nothing"
+          test_search_shared_cache_equals_fresh;
+        t "eval cache returns the very report evaluation would"
+          test_cache_reports_identical;
+        t "sensitivity sweep: parallel == serial"
+          test_sensitivity_parallel_equals_serial;
+        t "portfolio evaluate: parallel == serial"
+          test_portfolio_parallel_equals_serial;
+        t "failure-phase sweep: parallel == serial"
+          test_sim_sweep_parallel_equals_serial;
+      ] );
+  ]

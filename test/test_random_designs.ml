@@ -28,18 +28,23 @@ let kit =
   }
 
 (* A moderate pool of valid designs to draw from. *)
-let pool =
-  Candidate.enumerate kit
-    {
-      Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
-      pit_accumulations = [ Duration.hours 6.; Duration.hours 12. ];
-      pit_retentions = [ 2; 4 ];
-      backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
-      backup_retention_horizon = Duration.weeks 4.;
-      vault_accumulations = [ Duration.weeks 1.; Duration.weeks 4. ];
-      vault_retention_horizon = Duration.years 1.;
-      mirror_links = [ 1; 4 ];
-    }
+let pool_spec =
+  {
+    Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
+    pit_accumulations = [ Duration.hours 6.; Duration.hours 12. ];
+    pit_retentions = [ 2; 4 ];
+    backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
+    backup_retention_horizon = Duration.weeks 4.;
+    vault_accumulations = [ Duration.weeks 1.; Duration.weeks 4. ];
+    vault_retention_horizon = Duration.years 1.;
+    mirror_links = [ 1; 4 ];
+  }
+
+let pool = Candidate.enumerate kit pool_spec
+
+(* A structurally identical but physically fresh enumeration — used by the
+   fingerprint tests to show keys depend only on structure. *)
+let pool_again () = Candidate.enumerate kit pool_spec
 
 let arb_design =
   QCheck.map (fun i -> List.nth pool (i mod List.length pool))

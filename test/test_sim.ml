@@ -49,6 +49,22 @@ let test_queue_validation () =
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
   Alcotest.(check bool) "no peek" true (Event_queue.peek_time q = None)
 
+let test_queue_drain_until_boundaries () =
+  let q = Event_queue.create () in
+  Alcotest.(check int) "empty queue drains nothing" 0
+    (List.length (Event_queue.drain_until q 10.));
+  List.iteri (fun i t -> Event_queue.push q ~time:t i)
+    [ 2.; 5.; 5.; 9. ];
+  Alcotest.(check int) "bound below all: nothing" 0
+    (List.length (Event_queue.drain_until q 1.9));
+  Alcotest.(check int) "queue untouched" 4 (Event_queue.length q);
+  (* The bound is inclusive, and ties at the bound drain in FIFO order. *)
+  Alcotest.(check (list int)) "bound on a tie drains through it" [ 0; 1; 2 ]
+    (List.map snd (Event_queue.drain_until q 5.));
+  Alcotest.(check (list int)) "bound above all drains the rest" [ 3 ]
+    (List.map snd (Event_queue.drain_until q 1e9));
+  Alcotest.(check bool) "now empty" true (Event_queue.is_empty q)
+
 let prop_queue_pops_sorted =
   QCheck.Test.make ~name:"event queue pops in time order" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (float_range 0. 1000.))
@@ -62,6 +78,59 @@ let prop_queue_pops_sorted =
       in
       let popped = drain [] in
       popped = List.sort Float.compare times)
+
+let prop_queue_fifo_stable_on_ties =
+  (* Times drawn from ten discrete slots force plenty of duplicates; the
+     payload records insertion order. Popping must be globally
+     time-ordered, and within a timestamp, first-scheduled-first. *)
+  QCheck.Test.make ~name:"heap is time-ordered, FIFO-stable on duplicates"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 150) (int_range 0 9))
+    (fun slots ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i s -> Event_queue.push q ~time:(float_of_int s) i)
+        slots;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (t, i) -> drain ((t, i) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let rec ordered = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && ordered rest
+        | _ -> true
+      in
+      List.length popped = List.length slots && ordered popped)
+
+let prop_queue_drain_until_partitions =
+  (* drain_until splits the queue exactly at the (inclusive) bound: the
+     drained prefix is every event <= bound in order, and a full drain of
+     the rest yields every event > bound in order. *)
+  QCheck.Test.make ~name:"drain_until partitions at the inclusive bound"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 100) (int_range 0 19))
+        (int_range 0 19))
+    (fun (slots, bound) ->
+      let q = Event_queue.create () in
+      List.iteri (fun i s -> Event_queue.push q ~time:(float_of_int s) i) slots;
+      let bound_t = float_of_int bound in
+      let drained = Event_queue.drain_until q bound_t in
+      let rec rest acc =
+        match Event_queue.pop q with
+        | Some (t, i) -> rest ((t, i) :: acc)
+        | None -> List.rev acc
+      in
+      let rest = rest [] in
+      let indexed = List.mapi (fun i s -> (float_of_int s, i)) slots in
+      let sort_stable =
+        List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+      in
+      drained = sort_stable (List.filter (fun (t, _) -> t <= bound_t) indexed)
+      && rest = sort_stable (List.filter (fun (t, _) -> t > bound_t) indexed))
 
 (* --- Flow_net --- *)
 
@@ -159,6 +228,124 @@ let prop_flow_fairness =
       let rates = List.map (Flow_net.rate net) flows in
       let r0 = List.hd rates in
       List.for_all (fun r -> Float.abs (r -. r0) < 1e-6) rates)
+
+let prop_flow_conservation_multi_node =
+  (* Random topologies: three nodes with reservations, flows through random
+     node subsets with multiplicities and optional caps. At no node may the
+     allocated rates (weighted by multiplicity) exceed capacity minus
+     reservation, and no flow may exceed its cap. *)
+  QCheck.Test.make
+    ~name:"node rates bounded by capacity minus reservation" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.return 3)
+           (pair (float_range 20. 500.) (float_range 0. 0.8)))
+        (list_of_size (Gen.int_range 1 10)
+           (quad (int_range 1 7) (int_range 1 2) (float_range 1. 5000.)
+              (option (float_range 1. 50.)))))
+    (fun (node_specs, flow_specs) ->
+      let net = Flow_net.create () in
+      let nodes =
+        List.mapi
+          (fun i (capacity, resv_frac) ->
+            let n =
+              Flow_net.add_node net ~name:("n" ^ string_of_int i) ~capacity
+            in
+            let resv = resv_frac *. capacity in
+            Flow_net.set_reservation net n resv;
+            (n, capacity, resv))
+          node_specs
+      in
+      let node_arr = Array.of_list nodes in
+      let flows =
+        List.map
+          (fun (mask, mult, bytes, rate_cap) ->
+            let through =
+              List.filter_map
+                (fun i ->
+                  if mask land (1 lsl i) <> 0 then
+                    let n, _, _ = node_arr.(i) in
+                    Some (n, mult)
+                  else None)
+                [ 0; 1; 2 ]
+            in
+            (Flow_net.add_flow net ?rate_cap ~through ~bytes (), through,
+             rate_cap))
+          flow_specs
+      in
+      let tol = 1e-6 in
+      let caps_respected =
+        List.for_all
+          (fun (f, _, cap) ->
+            match cap with
+            | Some c -> Flow_net.rate net f <= c +. tol
+            | None -> true)
+          flows
+      in
+      let conserved =
+        List.for_all
+          (fun (node, capacity, resv) ->
+            let used =
+              List.fold_left
+                (fun acc (f, through, _) ->
+                  List.fold_left
+                    (fun acc (n, m) ->
+                      if n == node then
+                        acc +. (Flow_net.rate net f *. float_of_int m)
+                      else acc)
+                    acc through)
+                0. flows
+            in
+            used <= capacity -. resv +. (tol *. capacity))
+          nodes
+      in
+      caps_respected && conserved)
+
+let prop_flow_completion_delivers_bytes =
+  (* Drive the network to quiescence with the simulator's own loop
+     (next_completion + advance). Every flow must complete exactly once
+     with zero remaining, and the node's cumulative byte counter must equal
+     the sum of requested bytes weighted by multiplicity (each completion
+     may round away up to one sub-byte remainder). *)
+  QCheck.Test.make ~name:"completed flows deliver exactly their bytes"
+    ~count:200
+    QCheck.(
+      pair (float_range 50. 500.)
+        (list_of_size (Gen.int_range 1 8)
+           (pair (float_range 10. 2000.) (int_range 1 2))))
+    (fun (capacity, specs) ->
+      let net = Flow_net.create () in
+      let n = Flow_net.add_node net ~name:"n" ~capacity in
+      let flows =
+        List.map
+          (fun (bytes, mult) ->
+            (Flow_net.add_flow net ~through:[ (n, mult) ] ~bytes (), bytes,
+             mult))
+          specs
+      in
+      let completed = ref 0 in
+      let fuel = ref 200 in
+      let rec run () =
+        match Flow_net.next_completion net with
+        | None -> ()
+        | Some (dt, _) when !fuel > 0 ->
+          decr fuel;
+          completed := !completed + List.length (Flow_net.advance net dt);
+          run ()
+        | Some _ -> ()
+      in
+      run ();
+      let requested =
+        List.fold_left
+          (fun acc (_, bytes, mult) -> acc +. (bytes *. float_of_int mult))
+          0. flows
+      in
+      !fuel > 0
+      && Flow_net.active_count net = 0
+      && !completed = List.length flows
+      && List.for_all (fun (f, _, _) -> Flow_net.remaining net f = 0.) flows
+      && Float.abs (Flow_net.node_bytes net n -. requested)
+         <= 2. *. float_of_int (List.length flows))
 
 (* --- Sim vs model --- *)
 
@@ -402,8 +589,12 @@ let suite =
         Alcotest.test_case "ordering" `Quick test_queue_ordering;
         Alcotest.test_case "fifo on ties" `Quick test_queue_fifo_ties;
         Alcotest.test_case "drain until" `Quick test_queue_drain_until;
+        Alcotest.test_case "drain-until boundaries" `Quick
+          test_queue_drain_until_boundaries;
         Alcotest.test_case "validation" `Quick test_queue_validation;
         qcheck prop_queue_pops_sorted;
+        qcheck prop_queue_fifo_stable_on_ties;
+        qcheck prop_queue_drain_until_partitions;
       ] );
     ( "sim.flow_net",
       [
@@ -416,6 +607,8 @@ let suite =
         Alcotest.test_case "validation" `Quick test_flow_validation;
         qcheck prop_flow_rates_respect_capacity;
         qcheck prop_flow_fairness;
+        qcheck prop_flow_conservation_multi_node;
+        qcheck prop_flow_completion_delivers_bytes;
       ] );
     ( "sim.execution",
       [
