@@ -405,6 +405,10 @@ let time_best_of ?(repeats = 3) f =
 let parallel_bench () =
   let module J = Storage_report.Json in
   let module Search = Storage_optimize.Search in
+  (* Record engine statistics throughout, so the benchmark artifact keeps
+     the cache hit rates, per-stage evaluate timings and per-domain task
+     counts behind each wall-clock number. *)
+  Storage_obs.enable ();
   let candidates =
     Storage_optimize.Candidate.enumerate parallel_kit parallel_space
   in
@@ -504,6 +508,7 @@ let parallel_bench () =
               ("cache_hits", J.Int (Eval_cache.hits cache));
               ("cache_misses", J.Int (Eval_cache.misses cache));
             ] );
+        ("stats", Storage_obs.snapshot ());
       ]
   in
   Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->

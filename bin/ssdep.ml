@@ -81,6 +81,48 @@ let jobs_arg =
   in
   Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
 
+(* --- engine statistics (observability layer) --- *)
+
+let stats_arg =
+  let doc =
+    "Record engine statistics (per-stage evaluation timings, cache hit \
+     rates, per-domain task counts, simulator event counts) and print \
+     them as a table after the command's output. Recording never changes \
+     a result."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_json_arg =
+  let doc =
+    "Write the recorded engine statistics as a JSON snapshot to $(docv) \
+     (implies recording, independently of $(b,--stats))."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+(* Wrap a command body: enable recording up front when asked, and emit the
+   table / JSON snapshot after a successful run. *)
+let with_stats stats stats_json body =
+  let wanted = stats || stats_json <> None in
+  if wanted then Storage_obs.enable ();
+  let result = body () in
+  (match result with
+  | Ok () when wanted -> (
+    if stats then Fmt.pr "@.%s@." (Fmt.str "%a" Storage_obs.pp_table ());
+    match stats_json with
+    | None -> Ok ()
+    | Some path -> (
+      match
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc
+              (Storage_report.Json.to_string_pretty (Storage_obs.snapshot ()));
+            output_char oc '\n')
+      with
+      | () ->
+        Fmt.pr "stats written to %s@." path;
+        Ok ()
+      | exception Sys_error m -> Error m))
+  | other -> other)
+
 (* --- tables --- *)
 
 let tables_cmd =
@@ -147,7 +189,8 @@ let evaluate_cmd =
           Fmt.pr "--- scenario %s ---@.%a@.@." name Evaluate.pp r)
         named
   in
-  let run design file scope target_age json =
+  let run design file scope target_age json stats stats_json =
+    with_stats stats stats_json @@ fun () ->
     match file with
     | Some path -> (
       match Storage_spec.Spec.design_of_file path with
@@ -187,7 +230,7 @@ let evaluate_cmd =
   let term =
     Term.(
       const run $ design_arg $ file_arg $ scope_arg $ target_age_arg
-      $ json_arg)
+      $ json_arg $ stats_arg $ stats_json_arg)
   in
   let info =
     Cmd.info "evaluate"
@@ -277,7 +320,9 @@ let simulate_cmd =
     in
     Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
   in
-  let run design scope target_age warmup sweep outage trace jobs =
+  let run design scope target_age warmup sweep outage trace jobs stats
+      stats_json =
+    with_stats stats stats_json @@ fun () ->
     match find_design design with
     | Error e -> Error e
     | Ok d -> (
@@ -342,7 +387,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ design_arg $ scope_arg $ target_age_arg $ warmup $ sweep
-      $ outage $ trace $ jobs_arg)
+      $ outage $ trace $ jobs_arg $ stats_arg $ stats_json_arg)
   in
   let info =
     Cmd.info "simulate"
@@ -363,7 +408,8 @@ let optimize_cmd =
     let doc = "Recovery point objective in hours (constraint)." in
     Arg.(value & opt (some float) None & info [ "rpo" ] ~docv:"HOURS" ~doc)
   in
-  let run rto rpo jobs =
+  let run rto rpo jobs stats stats_json =
+    with_stats stats stats_json @@ fun () ->
     let business =
       Business.make
         ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
@@ -394,7 +440,7 @@ let optimize_cmd =
     Fmt.pr "%a@." Storage_optimize.Search.pp result;
     Ok ()
   in
-  let term = Term.(const run $ rto $ rpo $ jobs_arg) in
+  let term = Term.(const run $ rto $ rpo $ jobs_arg $ stats_arg $ stats_json_arg) in
   let info =
     Cmd.info "optimize"
       ~doc:

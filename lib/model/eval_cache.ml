@@ -2,7 +2,7 @@ open Storage_parallel
 
 type t = Evaluate.report Memo.t
 
-let create () = Memo.create ~size:256 ()
+let create ?max_entries () = Memo.create ?max_entries ~size:256 ()
 
 let key design scenario =
   Design.fingerprint design ^ ":" ^ Scenario.fingerprint scenario
@@ -16,4 +16,5 @@ let run_all t design scenarios = List.map (run t design) scenarios
 let length t = Memo.length t
 let hits t = Memo.hits t
 let misses t = Memo.misses t
+let evicted t = Memo.evicted t
 let clear t = Memo.clear t

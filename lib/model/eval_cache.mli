@@ -15,7 +15,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] bounds the cache with FIFO eviction (see
+    {!Storage_parallel.Memo.create}); the default is unbounded. *)
 
 val key : Design.t -> Scenario.t -> string
 (** The cache key: both fingerprints, joined. *)
@@ -31,4 +33,8 @@ val length : t -> int
 
 val hits : t -> int
 val misses : t -> int
+
+val evicted : t -> int
+(** Reports evicted by the [max_entries] bound; [0] when unbounded. *)
+
 val clear : t -> unit

@@ -15,13 +15,30 @@ type report = {
   errors : string list;
 }
 
+(* Stage timers: where a report's wall-clock goes, per metric of the
+   paper's framework (utilization, recent data loss, recovery time, cost).
+   All no-ops until the observability layer is enabled. *)
+let t_run = Storage_obs.Timer.make "evaluate.run"
+let t_utilization = Storage_obs.Timer.make "evaluate.stage.utilization"
+let t_data_loss = Storage_obs.Timer.make "evaluate.stage.data_loss"
+let t_recovery = Storage_obs.Timer.make "evaluate.stage.recovery_time"
+let t_cost = Storage_obs.Timer.make "evaluate.stage.cost"
+
 let run design scenario =
+  Storage_obs.Timer.time t_run @@ fun () ->
   let validation_errors =
     match Design.validate design with Ok () -> [] | Error es -> es
   in
-  let utilization = Utilization.compute design in
-  let data_loss = Data_loss.compute design scenario in
+  let utilization =
+    Storage_obs.Timer.time t_utilization (fun () ->
+        Utilization.compute design)
+  in
+  let data_loss =
+    Storage_obs.Timer.time t_data_loss (fun () ->
+        Data_loss.compute design scenario)
+  in
   let recovery, recovery_errors =
+    Storage_obs.Timer.time t_recovery @@ fun () ->
     match data_loss.Data_loss.source_level with
     | None -> (None, [])
     | Some 0 -> (None, [])
@@ -36,10 +53,12 @@ let run design scenario =
     | None -> Duration.zero
   in
   let business = design.Design.business in
-  let penalties =
-    Cost.penalties business ~recovery_time ~loss:data_loss.Data_loss.loss
+  let penalties, outlays =
+    Storage_obs.Timer.time t_cost (fun () ->
+        ( Cost.penalties business ~recovery_time
+            ~loss:data_loss.Data_loss.loss,
+          Cost.outlays design ))
   in
-  let outlays = Cost.outlays design in
   let meets objective value =
     Option.map (fun bound -> Duration.compare value bound <= 0) objective
   in

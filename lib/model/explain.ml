@@ -106,10 +106,12 @@ let recovery_section buf design (t : Recovery_time.timeline) =
          finished exactly when provisioning did (it runs in parallel with
          everything else). *)
       let provisioning_bound =
-        Float.abs
-          (Duration.to_seconds hop.Recovery_time.ready_at
-          -. Duration.to_seconds hop.Recovery_time.par_fix)
-        < 1e-6
+        (* Relative tolerance: day-scale recoveries have float ulps larger
+           than any fixed absolute epsilon, which would misattribute the
+           bottleneck. *)
+        let a = Duration.to_seconds hop.Recovery_time.ready_at
+        and b = Duration.to_seconds hop.Recovery_time.par_fix in
+        Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.max a b)
       in
       let dominant =
         if provisioning_bound then

@@ -69,10 +69,21 @@ type distribution = {
   max : Money.t;
 }
 
-(* Knuth's Poisson sampler; our lambdas (frequency x horizon) are small. *)
+let standard_normal rng =
+  (* Box-Muller; [1 -. float] keeps the log argument in (0, 1]. *)
+  let u1 = 1. -. Storage_workload.Prng.float rng in
+  let u2 = Storage_workload.Prng.float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+(* Knuth's multiplicative sampler is exact but O(lambda), and its
+   [exp (-. lambda)] acceptance limit underflows to 0 for lambda >~ 745,
+   after which the loop only terminates when the running product itself
+   underflows — a garbage count. Use it only where it is cheap and exact;
+   above that, a clamped normal approximation (error O(1/sqrt lambda)) is
+   the standard regime split. *)
 let poisson rng ~lambda =
   if lambda <= 0. then 0
-  else begin
+  else if lambda < 30. then begin
     let limit = exp (-.lambda) in
     let rec draw k p =
       let p = p *. Storage_workload.Prng.float rng in
@@ -80,9 +91,15 @@ let poisson rng ~lambda =
     in
     draw 0 1.
   end
+  else begin
+    let x =
+      Float.round (lambda +. (sqrt lambda *. standard_normal rng))
+    in
+    if x < 0. then 0 else int_of_float x
+  end
 
-let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) design weighted_list
-    ~horizon_years =
+let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) ?(jobs = 1) design
+    weighted_list ~horizon_years =
   if weighted_list = [] then invalid_arg "Risk.monte_carlo: no scenarios";
   if horizon_years <= 0. then invalid_arg "Risk.monte_carlo: non-positive horizon";
   if samples <= 0 then invalid_arg "Risk.monte_carlo: non-positive samples";
@@ -91,7 +108,6 @@ let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) design weighted_list
       if w.frequency_per_year < 0. || not (Float.is_finite w.frequency_per_year)
       then invalid_arg "Risk.monte_carlo: invalid frequency")
     weighted_list;
-  let rng = Storage_workload.Prng.create ~seed in
   (* Per-incident penalties are scenario-determined; evaluate once. *)
   let priced =
     List.map
@@ -104,18 +120,32 @@ let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) design weighted_list
   let outlays =
     horizon_years *. Money.to_usd (Cost.outlays design).Cost.total
   in
+  (* One generator per sample, seeded from a master stream: every sample's
+     draws are independent of how the work is sliced, so the distribution
+     is identical whatever [jobs] is. *)
+  let master = Storage_workload.Prng.create ~seed in
+  let sample_seeds =
+    List.init samples (fun _ -> Storage_workload.Prng.next_int64 master)
+  in
+  let draw_sample seed =
+    let rng = Storage_workload.Prng.create ~seed in
+    List.fold_left
+      (fun acc (lambda, penalty) ->
+        acc +. (float_of_int (poisson rng ~lambda) *. penalty))
+      outlays priced
+  in
   let draws =
-    Array.init samples (fun _ ->
-        List.fold_left
-          (fun acc (lambda, penalty) ->
-            acc +. (float_of_int (poisson rng ~lambda) *. penalty))
-          outlays priced)
+    Array.of_list (Storage_parallel.Pool.map ~jobs draw_sample sample_seeds)
   in
   Array.sort Float.compare draws;
   let n = float_of_int samples in
   let mean = Array.fold_left ( +. ) 0. draws /. n in
   let variance =
-    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. draws /. n
+    (* Unbiased sample estimator; a single sample has no spread. *)
+    if samples < 2 then 0.
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. draws
+      /. (n -. 1.)
   in
   let percentile p =
     let idx = int_of_float (p *. (n -. 1.)) in

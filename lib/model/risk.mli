@@ -48,7 +48,11 @@ type distribution = {
   horizon_years : float;
   samples : int;
   mean : Money.t;  (** total cost over the horizon (outlays + penalties) *)
-  stddev : float;  (** in dollars *)
+  stddev : float;
+      (** spread of the sampled horizon costs, in US dollars (not a
+          {!Money.t}: it is a dispersion, not an amount of money one
+          pays). Computed with the unbiased sample estimator
+          (denominator [samples - 1]); [0.] when [samples = 1]. *)
   p50 : Money.t;
   p95 : Money.t;
   p99 : Money.t;
@@ -58,6 +62,7 @@ type distribution = {
 val monte_carlo :
   ?seed:int64 ->
   ?samples:int ->
+  ?jobs:int ->
   Design.t ->
   weighted list ->
   horizon_years:float ->
@@ -65,8 +70,20 @@ val monte_carlo :
 (** [monte_carlo design weighted ~horizon_years] draws incident counts
     [Poisson(frequency x horizon)] per scenario (default 10,000 samples,
     deterministic seed) and accumulates per-incident penalties plus the
-    horizon's outlays. Raises [Invalid_argument] on an empty scenario
-    list, non-positive horizon or samples, or negative frequencies. *)
+    horizon's outlays.
+
+    Counts are sampled exactly (Knuth's multiplicative method) for
+    [lambda < 30] and by a clamped normal approximation
+    [max 0 (round (lambda + sqrt lambda * z))] above, so arbitrarily
+    large [frequency x horizon] products stay finite and O(1) — the
+    multiplicative method's acceptance threshold underflows near
+    [lambda ~ 745].
+
+    Each sample draws from its own generator seeded off [seed], so for a
+    fixed [seed] the distribution is bit-identical for every [jobs]
+    value; [jobs > 1] only spreads the sampling across domains. Raises
+    [Invalid_argument] on an empty scenario list, non-positive horizon,
+    samples or jobs, or negative frequencies. *)
 
 val pp : t Fmt.t
 val pp_distribution : distribution Fmt.t

@@ -1,0 +1,98 @@
+(** Domain-safe instrumentation for the evaluation engine.
+
+    A process-wide registry of named metrics — monotonically increasing
+    counters, wall-clock timers, log-spaced histograms and polled gauges —
+    that the hot paths of the framework (evaluation stages, the memo
+    cache, the domain pool, the simulator, the search loops) update as
+    they run. The registry snapshots to the {!Storage_report.Json} type so
+    a stats dump composes with every other machine-readable output.
+
+    Instrumentation is {b off by default} and must never change a result:
+    when disabled, every recording operation is a single atomic load and a
+    branch, and timers run the instrumented function untouched. Metrics
+    are created at module-initialization time (handles are cheap to make
+    and idempotent by name), so the set of registered names is stable
+    whether or not recording is enabled.
+
+    All operations are safe to call concurrently from multiple domains:
+    counts are [Atomic] read-modify-writes, and the registry itself is
+    guarded by a mutex only on the (rare) registration path. *)
+
+val enable : unit -> unit
+(** Turn recording on, process-wide. *)
+
+val disable : unit -> unit
+(** Turn recording off. Recorded values are kept until {!reset}. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter, timer and histogram (gauges are polled, not
+    stored). Registered names survive. *)
+
+(** Monotonically increasing event counts. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** [make name] registers (or retrieves) the counter called [name].
+      Two [make]s of the same name share one counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Current count (readable even while disabled). *)
+end
+
+(** Accumulated wall-clock time over a named operation. *)
+module Timer : sig
+  type t
+
+  val make : string -> t
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** [time t f] runs [f ()], adding its wall-clock duration (via
+      [Unix.gettimeofday]) and one call to [t] when recording is enabled;
+      when disabled it is exactly [f ()]. The duration is recorded even
+      when [f] raises. *)
+
+  val count : t -> int
+  val total_seconds : t -> float
+end
+
+(** Distributions over positive magnitudes (durations, sizes), bucketed
+    into fixed log-spaced bins. *)
+module Histogram : sig
+  type t
+
+  val make : ?lo:float -> ?ratio:float -> ?buckets:int -> string -> t
+  (** [make name] registers a histogram whose first bucket holds
+      observations [<= lo] (default [1e-6]) and whose [buckets] (default
+      [24]) successive upper bounds grow by [ratio] (default [4.]), with a
+      final unbounded overflow bucket. The defaults span 1 microsecond to
+      beyond 10^8 seconds. Same-name [make]s share one histogram; the
+      bucket geometry of the first registration wins. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation (no-op while disabled). Non-finite and
+      negative values land in the first bucket. *)
+
+  val count : t -> int
+  val sum : t -> float
+end
+
+val gauge : string -> (unit -> float) -> unit
+(** [gauge name poll] registers a gauge whose value is [poll ()] at
+    snapshot time. Re-registering a name replaces its poll function.
+    [poll] must be safe to call from any domain. *)
+
+val snapshot : unit -> Storage_report.Json.t
+(** The current value of every registered metric, as one JSON object
+    keyed by metric name (sorted): counters as integers, gauges as
+    floats, timers as [{count, seconds, mean_seconds, per_second}], and
+    histograms as [{count, sum, mean, buckets: [{le, count}, ...]}]
+    (zero-count buckets omitted; the overflow bucket's [le] is [null]). *)
+
+val pp_table : unit Fmt.t
+(** A human-readable table of the same snapshot, for [--stats]. *)

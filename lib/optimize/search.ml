@@ -8,9 +8,25 @@ type result = {
   best : Objective.summary option;
 }
 
+(* Search throughput: (design, scenario) evaluations requested (cache hits
+   included) and the wall-clock of whole searches. The derived gauge is
+   the north-star number: evaluations per second of search time. *)
+let t_search = Storage_obs.Timer.make "search.run"
+let obs_evaluations = Storage_obs.Counter.make "search.evaluations"
+
+let () =
+  Storage_obs.gauge "search.evals_per_second" (fun () ->
+      let s = Storage_obs.Timer.total_seconds t_search in
+      if s > 0. then
+        float_of_int (Storage_obs.Counter.value obs_evaluations) /. s
+      else 0.)
+
 let run ?(jobs = 1) ?cache candidates scenarios =
   if candidates = [] then invalid_arg "Search.run: no candidate designs";
   if scenarios = [] then invalid_arg "Search.run: no scenarios";
+  Storage_obs.Counter.add obs_evaluations
+    (List.length candidates * List.length scenarios);
+  Storage_obs.Timer.time t_search @@ fun () ->
   (* Search always evaluates through a memo-cache (a fresh one unless the
      caller shares a session-level cache): duplicated candidates cost one
      evaluation, and an iterative what-if session that re-runs the search

@@ -20,8 +20,13 @@ let point_of_report value (r : Evaluate.report) =
     total_cost = r.Evaluate.total_cost;
   }
 
+let t_sweep = Storage_obs.Timer.make "sensitivity.sweep"
+let obs_points = Storage_obs.Counter.make "sensitivity.points"
+
 let sweep ?(jobs = 1) ?cache build ~values scenario =
   if values = [] then invalid_arg "Sensitivity.sweep: no values";
+  Storage_obs.Counter.add obs_points (List.length values);
+  Storage_obs.Timer.time t_sweep @@ fun () ->
   let eval =
     match cache with
     | None -> fun d -> Evaluate.run d scenario

@@ -14,8 +14,15 @@
 
 type 'a t
 
-val create : ?size:int -> unit -> 'a t
-(** [size] is the initial table sizing hint (default 64). *)
+val create : ?max_entries:int -> ?size:int -> unit -> 'a t
+(** [size] is the initial table sizing hint (default 64).
+
+    [max_entries] bounds the table: once it holds that many values, each
+    insert evicts the oldest-inserted entry (FIFO) so long what-if
+    sessions cannot grow the cache without bound. The default is
+    unbounded, preserving the original behaviour. Raises
+    [Invalid_argument] when [max_entries < 1]. Eviction affects only
+    {e time} (an evicted key recomputes on next use), never a value. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add t key compute] returns the cached value for [key], or runs
@@ -31,5 +38,10 @@ val hits : 'a t -> int
 val misses : 'a t -> int
 (** Lookups that had to compute. *)
 
+val evicted : 'a t -> int
+(** Entries evicted by the [max_entries] bound since creation (or
+    [clear]); always [0] for an unbounded table. Also exported
+    process-wide as the [memo.evicted] counter of {!Storage_obs}. *)
+
 val clear : 'a t -> unit
-(** Empties the table and resets the hit/miss counters. *)
+(** Empties the table and resets the hit/miss/evicted counters. *)

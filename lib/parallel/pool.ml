@@ -17,7 +17,9 @@ type batch = {
 type t = {
   lock : Mutex.t;
   work : Condition.t;  (* signalled when the queue grows or on shutdown *)
-  queue : (unit -> unit) Queue.t;  (* tasks never raise *)
+  queue : (float * (unit -> unit)) Queue.t;
+      (* (enqueue time, task); tasks never raise. The timestamp is 0. when
+         stats are disabled — taken only to measure queue-wait time. *)
   mutable closing : bool;
   mutable workers : unit Domain.t list;
   jobs : int;
@@ -25,7 +27,43 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let worker t =
+(* Engine metrics: how many tasks each domain ran (index 0 is the
+   submitting domain, which helps on its own batches) and how long tasks
+   sat queued before a domain picked them up. Aggregated across pools. *)
+let obs_queue_wait = Storage_obs.Histogram.make "pool.queue_wait_seconds"
+
+let obs_domain_tasks =
+  (* Registering eagerly for a few indexes keeps the snapshot's key set
+     stable; wider pools extend it on demand. *)
+  let lock = Mutex.create () in
+  let known = Hashtbl.create 16 in
+  let get i =
+    Mutex.lock lock;
+    let c =
+      match Hashtbl.find_opt known i with
+      | Some c -> c
+      | None ->
+        let c =
+          Storage_obs.Counter.make (Printf.sprintf "pool.domain.%d.tasks" i)
+        in
+        Hashtbl.replace known i c;
+        c
+    in
+    Mutex.unlock lock;
+    c
+  in
+  ignore (get 0);
+  get
+
+let record_task ~domain_index ~enqueued_at =
+  if Storage_obs.enabled () then begin
+    Storage_obs.Counter.incr (obs_domain_tasks domain_index);
+    if enqueued_at > 0. then
+      Storage_obs.Histogram.observe obs_queue_wait
+        (Unix.gettimeofday () -. enqueued_at)
+  end
+
+let worker ~index t =
   let rec loop () =
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.closing do
@@ -35,8 +73,9 @@ let worker t =
     | None ->
       (* closing, and the queue is drained *)
       Mutex.unlock t.lock
-    | Some task ->
+    | Some (enqueued_at, task) ->
       Mutex.unlock t.lock;
+      record_task ~domain_index:index ~enqueued_at;
       task ();
       loop ()
   in
@@ -54,7 +93,9 @@ let create ~jobs =
       jobs;
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker ~index:(i + 1) t));
   t
 
 let size t = t.jobs
@@ -117,9 +158,12 @@ let map_on ?chunk t f xs =
       if batch.remaining = 0 then Condition.broadcast batch.finished;
       Mutex.unlock t.lock
     in
+    let enqueued_at =
+      if Storage_obs.enabled () then Unix.gettimeofday () else 0.
+    in
     Mutex.lock t.lock;
     for c = 0 to nchunks - 1 do
-      Queue.add (fun () -> run_chunk (c * chunk)) t.queue
+      Queue.add (enqueued_at, fun () -> run_chunk (c * chunk)) t.queue
     done;
     Condition.broadcast t.work;
     (* Help until this batch completes; tasks popped here may belong to
@@ -127,8 +171,9 @@ let map_on ?chunk t f xs =
     let rec help () =
       if batch.remaining > 0 then
         match Queue.take_opt t.queue with
-        | Some task ->
+        | Some (enqueued_at, task) ->
           Mutex.unlock t.lock;
+          record_task ~domain_index:0 ~enqueued_at;
           task ();
           Mutex.lock t.lock;
           help ()

@@ -70,6 +70,13 @@ type state = {
 
 let secs = Duration.to_seconds
 
+(* Simulator throughput metrics (no-ops until stats are enabled): discrete
+   events handled, flow-network advances, and whole runs. *)
+let obs_runs = Storage_obs.Counter.make "sim.runs"
+let obs_events = Storage_obs.Counter.make "sim.events"
+let obs_flow_advances = Storage_obs.Counter.make "sim.flow_advances"
+let t_sim_run = Storage_obs.Timer.make "sim.run"
+
 let record st fmt =
   Printf.ksprintf
     (fun msg -> if st.record then st.events <- (st.now, msg) :: st.events)
@@ -311,10 +318,13 @@ let run_until st until =
       in
       let dt = Float.max 0. (next_time -. st.now) in
       let completed = Flow_net.advance st.net dt in
+      Storage_obs.Counter.incr obs_flow_advances;
       st.now <- next_time;
       complete_flows st completed;
       List.iter
-        (fun (_, ev) -> handle_event st ev)
+        (fun (_, ev) ->
+          Storage_obs.Counter.incr obs_events;
+          handle_event st ev)
         (Event_queue.drain_until st.queue st.now);
       loop ()
     end
@@ -571,6 +581,8 @@ let measure_utilization st =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let run ?(config = default_config) design scenario =
+  Storage_obs.Counter.incr obs_runs;
+  Storage_obs.Timer.time t_sim_run @@ fun () ->
   let st =
     { (build design) with verbose = config.log; record = config.record_events }
   in

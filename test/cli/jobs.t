@@ -14,20 +14,20 @@ Invalid job counts are rejected up front with a clear message:
 
   $ ssdep optimize --jobs 0
   ssdep: option '--jobs': invalid jobs count "0", expected a positive integer
-  Usage: ssdep optimize [--jobs=N] [--rpo=HOURS] [--rto=HOURS] [OPTION]…
+  Usage: ssdep optimize [OPTION]…
   Try 'ssdep optimize --help' or 'ssdep --help' for more information.
   [124]
 
   $ ssdep optimize --jobs=-3
   ssdep: option '--jobs': invalid jobs count "-3", expected a positive integer
-  Usage: ssdep optimize [--jobs=N] [--rpo=HOURS] [--rto=HOURS] [OPTION]…
+  Usage: ssdep optimize [OPTION]…
   Try 'ssdep optimize --help' or 'ssdep --help' for more information.
   [124]
 
   $ ssdep optimize --jobs banana
   ssdep: option '--jobs': invalid jobs count "banana", expected a positive
          integer
-  Usage: ssdep optimize [--jobs=N] [--rpo=HOURS] [--rto=HOURS] [OPTION]…
+  Usage: ssdep optimize [OPTION]…
   Try 'ssdep optimize --help' or 'ssdep --help' for more information.
   [124]
 

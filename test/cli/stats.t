@@ -1,0 +1,39 @@
+Engine statistics are off by default, and turning them on never changes a
+result: the instrumented run's output is identical apart from the trailing
+confirmation line.
+
+  $ ssdep optimize > plain.out
+  $ ssdep optimize --stats-json stats.json | sed '$d' > recorded.out
+  $ diff plain.out recorded.out
+
+The JSON dump names the evaluation stages, the memo cache and the domain
+pool (values vary run to run, so check key presence only):
+
+  $ grep -c '"evaluate.run"' stats.json
+  1
+  $ grep -c '"evaluate.stage.utilization"' stats.json
+  1
+  $ grep -c '"memo.hits"' stats.json
+  1
+  $ grep -c '"memo.misses"' stats.json
+  1
+  $ grep -c '"pool.domain.0.tasks"' stats.json
+  1
+  $ grep -c '"search.evaluations"' stats.json
+  1
+
+With two evaluation domains the pool reports a second per-domain task
+counter:
+
+  $ ssdep optimize --jobs 2 --stats-json stats2.json > /dev/null
+  $ grep -c '"pool.domain.1.tasks"' stats2.json
+  1
+
+--stats prints the same snapshot as a table, on every engine subcommand:
+
+  $ ssdep optimize --stats | grep -c 'engine statistics'
+  1
+  $ ssdep evaluate --stats | grep -c 'engine statistics'
+  1
+  $ ssdep simulate -s array --stats | grep -c 'sim.events'
+  1

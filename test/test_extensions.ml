@@ -95,6 +95,76 @@ let test_risk_monte_carlo () =
   check_raises_invalid "bad samples" (fun () ->
       Risk.monte_carlo ~samples:0 Baseline.design weighted ~horizon_years:1.)
 
+let test_risk_monte_carlo_lambda_regimes () =
+  (* Exercise the Poisson sampler in every rate regime: no incidents,
+     rare events, the multiplicative/normal switchover at lambda = 30,
+     and lambda = 1e3 where exp(-lambda) underflows to zero (the
+     multiplicative method alone would loop on garbage there). *)
+  List.iter
+    (fun freq ->
+      let weighted =
+        [
+          { Risk.scenario = Baseline.scenario_object; frequency_per_year = freq };
+        ]
+      in
+      let dist =
+        Risk.monte_carlo ~samples:500 Baseline.design weighted
+          ~horizon_years:10.
+      in
+      let finite m = Float.is_finite (Money.to_usd m) in
+      Alcotest.(check bool) (Fmt.str "finite at frequency %g" freq) true
+        (finite dist.Risk.mean
+        && Float.is_finite dist.Risk.stddev
+        && finite dist.Risk.p50 && finite dist.Risk.max);
+      Alcotest.(check bool) (Fmt.str "ordered at frequency %g" freq) true
+        (Money.compare dist.Risk.p50 dist.Risk.p95 <= 0
+        && Money.compare dist.Risk.p95 dist.Risk.p99 <= 0
+        && Money.compare dist.Risk.p99 dist.Risk.max <= 0))
+    [ 0.; 0.01; 3.; 100. ]
+
+let test_risk_monte_carlo_large_lambda_regression () =
+  (* Regression for the lambda ~ 1e3 underflow: the sampled mean must
+     still track the analytic expectation. At lambda = 1000 the relative
+     sampling noise of the mean over 2000 draws is ~0.1%, so a 2%
+     tolerance is forgiving but would still catch a broken sampler. *)
+  let weighted =
+    [ { Risk.scenario = Baseline.scenario_object; frequency_per_year = 100. } ]
+  in
+  let dist =
+    Risk.monte_carlo ~samples:2000 Baseline.design weighted ~horizon_years:10.
+  in
+  let expectation =
+    10.
+    *. Money.to_usd
+         (Risk.assess Baseline.design weighted).Risk.expected_annual_cost
+  in
+  close ~tol:0.02 "mean matches analytic expectation at lambda=1e3"
+    expectation
+    (Money.to_usd dist.Risk.mean)
+
+let test_risk_monte_carlo_jobs_invariant () =
+  (* Each sample owns a generator seeded off the master stream, so the
+     distribution is bit-identical however the sampling is spread across
+     domains. *)
+  let dists =
+    List.map
+      (fun jobs ->
+        Risk.monte_carlo ~samples:1000 ~jobs Baseline.design weighted
+          ~horizon_years:10.)
+      [ 1; 2; 4 ]
+  in
+  match dists with
+  | serial :: rest ->
+    let reference = Marshal.to_string serial [ Marshal.No_sharing ] in
+    List.iteri
+      (fun i d ->
+        Alcotest.(check bool)
+          (Fmt.str "jobs=%d identical to serial" (List.nth [ 2; 4 ] i))
+          true
+          (String.equal reference (Marshal.to_string d [ Marshal.No_sharing ])))
+      rest
+  | [] -> assert false
+
 (* --- Degraded --- *)
 
 let test_degraded_backup_outage () =
@@ -480,6 +550,12 @@ let suite =
         Alcotest.test_case "validation" `Quick test_risk_validation;
         Alcotest.test_case "monte carlo distribution" `Quick
           test_risk_monte_carlo;
+        Alcotest.test_case "monte carlo lambda regimes" `Quick
+          test_risk_monte_carlo_lambda_regimes;
+        Alcotest.test_case "monte carlo large-lambda regression" `Quick
+          test_risk_monte_carlo_large_lambda_regression;
+        Alcotest.test_case "monte carlo jobs-invariant" `Quick
+          test_risk_monte_carlo_jobs_invariant;
       ] );
     ( "model.degraded",
       [

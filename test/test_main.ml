@@ -7,4 +7,4 @@ let () =
    @ Test_sim.suite @ Test_optimize.suite @ Test_extensions.suite
    @ Test_presets.suite @ Test_spec.suite @ Test_coverage.suite
    @ Test_random_designs.suite
-   @ Test_parallel.suite @ Test_report.suite)
+   @ Test_parallel.suite @ Test_report.suite @ Test_obs.suite)
