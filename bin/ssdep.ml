@@ -165,6 +165,15 @@ let tables_cmd =
   in
   Cmd.v info Term.(term_result' term)
 
+(* Non-error lint findings shown alongside textual evaluation output: the
+   numbers are still valid (errors would not be), but the design deserves
+   a second look. *)
+let print_advisories d =
+  let found = Storage_lint.check_design d in
+  List.iter
+    (fun diag -> Fmt.pr "lint: %a@." Storage_lint.Diagnostic.pp diag)
+    (Storage_lint.warnings found @ Storage_lint.infos found)
+
 (* --- evaluate --- *)
 
 let file_arg =
@@ -179,15 +188,17 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let evaluate_cmd =
-  let print_reports json named =
+  let print_reports json d named =
     if json then
       print_endline
         (Storage_report.Json.to_string_pretty (Json_output.reports named))
-    else
+    else begin
+      print_advisories d;
       List.iter
         (fun (name, r) ->
           Fmt.pr "--- scenario %s ---@.%a@.@." name Evaluate.pp r)
         named
+    end
   in
   let run design file scope target_age json stats stats_json =
     with_stats stats stats_json @@ fun () ->
@@ -204,10 +215,10 @@ let evaluate_cmd =
             Error
               (e ^ " (the file defines no [scenario] sections to use instead)")
           | Ok scenario ->
-            print_reports json [ (scope, Evaluate.run d scenario) ];
+            print_reports json d [ (scope, Evaluate.run d scenario) ];
             Ok ())
         | Ok scenarios ->
-          print_reports json
+          print_reports json d
             (List.map
                (fun (name, scenario) -> (name, Evaluate.run d scenario))
                scenarios);
@@ -224,7 +235,10 @@ let evaluate_cmd =
             print_endline
               (Storage_report.Json.to_string_pretty
                  (Json_output.report report))
-          else Fmt.pr "%a@." Evaluate.pp report;
+          else begin
+            print_advisories d;
+            Fmt.pr "%a@." Evaluate.pp report
+          end;
           Ok ()))
   in
   let term =
@@ -269,6 +283,71 @@ let check_cmd =
       ~doc:"Parse a design-language file and validate the design."
   in
   Cmd.v info Term.(term_result' Term.(const run $ file))
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let target =
+    let doc =
+      "Design to lint: a design-language file (checked together with its \
+       [scenario] sections) when $(docv) names an existing file, otherwise \
+       a preset design checked under the three baseline failure scenarios."
+    in
+    Arg.(value & pos 0 string "baseline" & info [] ~docv:"DESIGN" ~doc)
+  in
+  let deny_warnings =
+    let doc = "Exit nonzero on warnings too, not only on errors (for CI)." in
+    Arg.(value & flag & info [ "deny-warnings" ] ~doc)
+  in
+  let run target json deny_warnings =
+    let loaded =
+      if Sys.file_exists target && not (Sys.is_directory target) then
+        match Storage_spec.Spec.design_of_file ~validate:false target with
+        | Error e -> Error e
+        | Ok d -> (
+          match Storage_spec.Spec.scenarios_of_file target with
+          | Error e -> Error e
+          | Ok scenarios -> Ok (d, scenarios))
+      else
+        match find_design target with
+        | Error e -> Error (e ^ " (and no such file)")
+        | Ok d ->
+          Ok
+            ( d,
+              [
+                ("user error", Baseline.scenario_object);
+                ("array failure", Baseline.scenario_array);
+                ("site disaster", Baseline.scenario_site);
+              ] )
+    in
+    match loaded with
+    | Error e -> Error e
+    | Ok (d, scenarios) ->
+      let found = Storage_lint.check ~scenarios d in
+      if json then
+        print_endline
+          (Storage_report.Json.to_string_pretty
+             (Storage_lint.to_json ~design:d.Design.name found))
+      else Fmt.pr "%a@." Storage_lint.pp found;
+      (match Storage_lint.exit_code ~deny_warnings found with
+      | 0 -> Ok ()
+      | code ->
+        (* Findings are a reportable outcome, not a CLI failure: claim the
+           documented exit codes (1 = warnings denied, 2 = errors) directly
+           rather than going through cmdliner's error path. *)
+        Format.pp_print_flush Format.std_formatter ();
+        Stdlib.exit code)
+  in
+  let term = Term.(const run $ target $ json_arg $ deny_warnings) in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Statically analyze a design against the SSDEP rule set: stable \
+         rule codes, severities and structured locations, as a table or \
+         JSON. Exits 2 when errors are found, 1 for warnings under \
+         $(b,--deny-warnings), 0 when clean."
+  in
+  Cmd.v info Term.(term_result' term)
 
 (* --- whatif --- *)
 
@@ -792,7 +871,7 @@ let main_cmd =
   let info = Cmd.info "ssdep" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      tables_cmd; evaluate_cmd; check_cmd; whatif_cmd; simulate_cmd;
+      tables_cmd; evaluate_cmd; check_cmd; lint_cmd; whatif_cmd; simulate_cmd;
       optimize_cmd; characterize_cmd; risk_cmd; degraded_cmd; report_cmd;
       portfolio_cmd; explain_cmd;
     ]

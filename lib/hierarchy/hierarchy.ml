@@ -87,25 +87,29 @@ let make levels =
 let make_exn levels =
   match make levels with Ok t -> t | Error m -> invalid_arg ("Hierarchy: " ^ m)
 
-let warnings t =
+let hold_retention_inversions t =
   let out = ref [] in
   let n = Array.length t.levels in
-  for i = 1 to n - 2 do
+  for i = n - 2 downto 1 do
     let si = schedule_exn t.levels.(i) and sj = schedule_exn t.levels.(i + 1) in
-    ignore si;
     let hold_next = sj.Schedule.full.Schedule.hold in
     let ret_here = Schedule.retention_window si in
-    if Duration.compare hold_next ret_here > 0 then
-      out :=
-        Printf.sprintf
-          "level %d (%s): hold window exceeds level %d retention window; \
-           extra retention capacity is required at level %d"
-          (i + 1)
-          (Technique.name t.levels.(i + 1).technique)
-          i i
-        :: !out
+    if Duration.compare hold_next ret_here > 0 then out := (i + 1) :: !out
   done;
-  List.rev !out
+  !out
+
+(* Compatibility shim over {!hold_retention_inversions}; the structured
+   form (with stable codes and locations) lives in [Storage_lint]. *)
+let warnings t =
+  List.map
+    (fun j ->
+      Printf.sprintf
+        "level %d (%s): hold window exceeds level %d retention window; \
+         extra retention capacity is required at level %d"
+        j
+        (Technique.name t.levels.(j).technique)
+        (j - 1) (j - 1))
+    (hold_retention_inversions t)
 
 let length t = Array.length t.levels
 

@@ -35,9 +35,19 @@ val make : level list -> (t, string) result
 val make_exn : level list -> t
 (** Raises [Invalid_argument] with the validation message. *)
 
+val hold_retention_inversions : t -> int list
+(** Levels [j >= 2] whose hold window exceeds level [j-1]'s retention
+    window ([holdW_j > retW_{j-1}], violating §3.2.1 convention 3): extra
+    retention capacity is then required at level [j-1]'s device. In
+    increasing order. The case study's vaulting level does this
+    deliberately, so it is an advisory, not an error — [Storage_lint]
+    reports it as [SSDEP-I001]. *)
+
 val warnings : t -> string list
-(** Non-fatal advisory checks, e.g. [holdW_i > retW_{i+1}] (which forces
-    extra retention at level [i]'s device, §3.2.1 convention 3). *)
+(** Non-fatal advisory checks, currently {!hold_retention_inversions}
+    rendered as human-readable messages. Compatibility shim: new code
+    should prefer [Storage_lint.check], which carries stable rule codes
+    and structured locations. *)
 
 val length : t -> int
 val level : t -> int -> level

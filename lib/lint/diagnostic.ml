@@ -1,0 +1,107 @@
+open Storage_report
+
+type severity = Error | Warning | Info
+
+type location =
+  | Design_wide
+  | Level of { index : int; technique : string }
+  | Device of string
+  | Link of string
+  | Workload
+  | Business
+  | Scenario of string
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+let make ~code severity location fmt =
+  Printf.ksprintf (fun message -> { code; severity; location; message }) fmt
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Locations order by specificity groups so the rendered table reads
+   top-down: whole-design first, then the hierarchy, hardware, inputs,
+   scenarios. *)
+let location_rank = function
+  | Design_wide -> 0
+  | Level _ -> 1
+  | Device _ -> 2
+  | Link _ -> 3
+  | Workload -> 4
+  | Business -> 5
+  | Scenario _ -> 6
+
+let location_key = function
+  | Design_wide -> ""
+  | Level { index; _ } -> string_of_int index
+  | Device n | Link n | Scenario n -> n
+  | Workload | Business -> ""
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else begin
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else begin
+      let c =
+        Int.compare (location_rank a.location) (location_rank b.location)
+      in
+      if c <> 0 then c
+      else begin
+        let c =
+          String.compare (location_key a.location) (location_key b.location)
+        in
+        if c <> 0 then c else String.compare a.message b.message
+      end
+    end
+  end
+
+let pp_location ppf = function
+  | Design_wide -> Fmt.string ppf "design"
+  | Level { index; technique } -> Fmt.pf ppf "level %d (%s)" index technique
+  | Device name -> Fmt.pf ppf "device %s" name
+  | Link name -> Fmt.pf ppf "link %s" name
+  | Workload -> Fmt.string ppf "workload"
+  | Business -> Fmt.string ppf "business"
+  | Scenario name -> Fmt.pf ppf "scenario %s" name
+
+let pp ppf d =
+  Fmt.pf ppf "%-11s %-8s %-24s %s" d.code (severity_name d.severity)
+    (Fmt.str "%a" pp_location d.location)
+    d.message
+
+let location_to_json = function
+  | Design_wide -> Json.Obj [ ("kind", Json.String "design") ]
+  | Level { index; technique } ->
+    Json.Obj
+      [
+        ("kind", Json.String "level");
+        ("index", Json.Int index);
+        ("technique", Json.String technique);
+      ]
+  | Device name ->
+    Json.Obj [ ("kind", Json.String "device"); ("name", Json.String name) ]
+  | Link name ->
+    Json.Obj [ ("kind", Json.String "link"); ("name", Json.String name) ]
+  | Workload -> Json.Obj [ ("kind", Json.String "workload") ]
+  | Business -> Json.Obj [ ("kind", Json.String "business") ]
+  | Scenario name ->
+    Json.Obj [ ("kind", Json.String "scenario"); ("name", Json.String name) ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_name d.severity));
+      ("location", location_to_json d.location);
+      ("message", Json.String d.message);
+    ]

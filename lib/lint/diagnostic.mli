@@ -1,0 +1,51 @@
+open Storage_report
+
+(** Structured diagnostics for the static design analyzer.
+
+    Every finding of {!Storage_lint} carries a stable rule code
+    ([SSDEP-E0xx] / [SSDEP-W0xx] / [SSDEP-I0xx]), a severity, a structured
+    location inside the design (protection level, device, link, scenario),
+    and a human message. Codes are part of the tool's interface: scripts
+    match on them, and the table in DESIGN.md documents each one against
+    the paper section it enforces. *)
+
+type severity =
+  | Error  (** the design is statically invalid; evaluation would reject it *)
+  | Warning  (** suspicious but evaluable; [--deny-warnings] rejects it *)
+  | Info  (** advisory only (e.g. the paper's convention-3 note) *)
+
+type location =
+  | Design_wide
+  | Level of { index : int; technique : string }
+  | Device of string
+  | Link of string
+  | Workload
+  | Business
+  | Scenario of string  (** named failure scenario the finding applies to *)
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["SSDEP-E010"] *)
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+val make :
+  code:string -> severity -> location -> ('a, unit, string, t) format4 -> 'a
+(** [make ~code severity location fmt ...] builds a diagnostic with a
+    printf-formatted message. *)
+
+val severity_rank : severity -> int
+(** [Error] = 0, [Warning] = 1, [Info] = 2 (most severe first). *)
+
+val severity_name : severity -> string
+
+val compare : t -> t -> int
+(** Total order used for stable output: severity, then code, then
+    location, then message. *)
+
+val pp : t Fmt.t
+(** One table row: code, severity, location, message. *)
+
+val pp_location : location Fmt.t
+val to_json : t -> Json.t

@@ -114,6 +114,11 @@ let primary_technique_of_device t dev =
   | Some l -> Technique.name l.technique
   | None -> invalid_arg "Design.primary_technique_of_device: unknown device"
 
+(* The error conditions here must stay in one-to-one correspondence with
+   [Storage_lint]'s design-wide error rules (E010-E013, E018): [validate]
+   is the evaluation-time shim (it cannot call the lint library, which
+   sits above this one), and the [test_lint] property suite checks that a
+   design fails here iff it carries a lint error. *)
 let validate t =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
@@ -145,6 +150,26 @@ let validate t =
               (Rate.to_string required)
           | Some _ | None -> ())
       end)
+    (Hierarchy.levels t.hierarchy);
+  (* Aggregate oversubscription: levels sharing an interconnect must fit
+     on it together (§3.3.1's global check applied to links). *)
+  let seen_links = ref [] in
+  List.iter
+    (fun (l : Hierarchy.level) ->
+      match l.link with
+      | Some link when not (List.mem link.Interconnect.name !seen_links) -> (
+        seen_links := link.Interconnect.name :: !seen_links;
+        match Interconnect.bandwidth link with
+        | Some bw ->
+          let demand = link_demand t link in
+          if Rate.compare demand bw > 0 then
+            err
+              "link %s oversubscribed: aggregate propagation demand %s \
+               exceeds bandwidth %s"
+              link.Interconnect.name (Rate.to_string demand)
+              (Rate.to_string bw)
+        | None -> ())
+      | Some _ | None -> ())
     (Hierarchy.levels t.hierarchy);
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 

@@ -78,7 +78,14 @@ val fingerprint : t -> string
 val validate : t -> (unit, string list) result
 (** Full design validation: hierarchy warnings are not errors, but the
     following are: any device overcommitted in capacity or bandwidth
-    (§3.3.1's global check), and any mirror link with less aggregate
-    bandwidth than the mode requires (peak rate for synchronous mirrors). *)
+    (§3.3.1's global check), any mirror link with less aggregate
+    bandwidth than the mode requires (peak rate for synchronous mirrors),
+    and any interconnect whose aggregate propagation demand across the
+    levels sharing it exceeds its bandwidth.
+
+    This is the evaluation-time shim behind {!Evaluate.run}'s [errors];
+    the full static analyzer — same error conditions plus warnings,
+    advisories, scenario rules, stable codes and structured locations —
+    is [Storage_lint.check] (which layers above this library). *)
 
 val pp : t Fmt.t

@@ -133,7 +133,23 @@ let outlays t =
   in
   (per_member, Money.sum (List.map snd per_member))
 
-let evaluate ?(jobs = 1) ?cache t scenario =
+(* Shared by name with [Storage_lint.prune]'s counter: both pre-filters
+   report into the one [lint.pruned] metric. *)
+let obs_pruned = Storage_obs.Counter.make "lint.pruned"
+
+let evaluate ?(jobs = 1) ?cache ?(lint = true) t scenario =
+  let members =
+    if not lint then t.members
+    else
+      List.filter
+        (fun (m : Design.t) ->
+          match Design.validate m with
+          | Ok () -> true
+          | Error _ ->
+            Storage_obs.Counter.incr obs_pruned;
+            false)
+        t.members
+  in
   let eval =
     match cache with
     | None -> fun m -> Evaluate.run m scenario
@@ -141,7 +157,7 @@ let evaluate ?(jobs = 1) ?cache t scenario =
   in
   Storage_parallel.Pool.map ~jobs
     (fun (m : Design.t) -> (m.Design.name, eval m))
-    t.members
+    members
 
 let pp ppf t =
   let per_member, total = outlays t in

@@ -45,13 +45,21 @@ val outlays : t -> (string * Money.t) list * Money.t
     and bandwidth only. *)
 
 val evaluate :
-  ?jobs:int -> ?cache:Eval_cache.t -> t -> Scenario.t ->
+  ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> t -> Scenario.t ->
   (string * Evaluate.report) list
 (** Evaluates every member under the scenario. Each member's recovery
     competes with the others' normal-mode traffic (via the background
     demands), which is the conservative reading of a shared-infrastructure
     disaster. [?jobs] (default 1 = serial) spreads members over a
     {!Storage_parallel.Pool}; results are in member order regardless.
-    [?cache] memoizes member evaluations across calls. *)
+    [?cache] memoizes member evaluations across calls.
+
+    [?lint] (default [true]) skips members that fail {!Design.validate}
+    (typically overcommitted by the combined background load) instead of
+    evaluating them into a report full of validation errors; each skip
+    increments the shared [lint.pruned] {!Storage_obs} counter. Such
+    members still show up in {!overcommitted}, which is the right place
+    to diagnose a consolidation that does not fit. Pass [~lint:false] to
+    get a (failed) report for every member. *)
 
 val pp : t Fmt.t

@@ -21,9 +21,15 @@ let () =
         float_of_int (Storage_obs.Counter.value obs_evaluations) /. s
       else 0.)
 
-let run ?(jobs = 1) ?cache candidates scenarios =
+let run ?(jobs = 1) ?cache ?(lint = true) candidates scenarios =
   if candidates = [] then invalid_arg "Search.run: no candidate designs";
   if scenarios = [] then invalid_arg "Search.run: no scenarios";
+  (* Static pre-filter: candidates carrying lint errors would only come
+     back as infeasible reports full of validation errors — reject them
+     before paying for [Evaluate.run] (the [lint.pruned] counter shows
+     how many were saved). The surviving results are identical to a run
+     over a hand-filtered candidate list. *)
+  let candidates = if lint then Storage_lint.prune candidates else candidates in
   Storage_obs.Counter.add obs_evaluations
     (List.length candidates * List.length scenarios);
   Storage_obs.Timer.time t_search @@ fun () ->

@@ -15,9 +15,19 @@ type result = {
 }
 
 val run :
-  ?jobs:int -> ?cache:Eval_cache.t -> Design.t list -> Scenario.t list ->
-  result
+  ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> Design.t list ->
+  Scenario.t list -> result
 (** Raises [Invalid_argument] on empty candidates or scenarios.
+
+    [?lint] (default [true]) statically pre-filters the candidates with
+    [Storage_lint]: candidates carrying a lint {e error} (overcommitted
+    devices, unsustainable links — exactly the conditions that make
+    {!Evaluate.run} attach validation errors) are pruned before any
+    evaluation, each incrementing the [lint.pruned] {!Storage_obs}
+    counter. The result is identical to running over the hand-filtered
+    candidate list; pass [~lint:false] to score statically invalid
+    designs anyway (they come back infeasible). If every candidate is
+    pruned the result is empty rather than an error.
 
     [?jobs] (default 1 = serial) evaluates candidates on that many domains
     via {!Storage_parallel.Pool}; every list of the result is in the same

@@ -453,7 +453,7 @@ let parse_scenario section =
 
 (* --- assembly --- *)
 
-let design_of_string text =
+let design_of_string ?(validate = true) text =
   let* sections = Ini.parse text in
   let* workload_section = Ini.find_one sections ~kind:"workload" in
   let* workload = parse_workload workload_section in
@@ -484,9 +484,11 @@ let design_of_string text =
       Design.make ~name:workload.Workload.name ~workload ~hierarchy ~business
         ()
     in
-    match Design.validate design with
-    | Ok () -> Ok design
-    | Error es -> err "design invalid: %s" (String.concat "; " es)
+    if not validate then Ok design
+    else
+      match Design.validate design with
+      | Ok () -> Ok design
+      | Error es -> err "design invalid: %s" (String.concat "; " es)
   end
 
 let read_file path =
@@ -494,9 +496,9 @@ let read_file path =
   | text -> Ok text
   | exception Sys_error m -> Error m
 
-let design_of_file path =
+let design_of_file ?validate path =
   let* text = read_file path in
-  design_of_string text
+  design_of_string ?validate text
 
 let scenarios_of_string text =
   let* sections = Ini.parse text in

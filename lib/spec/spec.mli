@@ -64,11 +64,17 @@ open Storage_model
     object_size = 1 MiB                # object scope only
     v} *)
 
-val design_of_string : string -> (Design.t, string) result
+val design_of_string : ?validate:bool -> string -> (Design.t, string) result
 (** Parses and assembles a full design; errors carry section/line
-    context. *)
+    context. [?validate] (default [true]) runs {!Design.validate} as the
+    final step, so an [Ok] design is known evaluable; [~validate:false]
+    stops after assembly — the loophole [ssdep lint] uses to report a
+    statically invalid design's findings (with rule codes) instead of a
+    load error. Hierarchy structure is always enforced: a level list
+    {!Storage_hierarchy.Hierarchy.make} rejects cannot be represented as
+    a [Design.t] at all. *)
 
-val design_of_file : string -> (Design.t, string) result
+val design_of_file : ?validate:bool -> string -> (Design.t, string) result
 
 val scenarios_of_string :
   string -> ((string * Scenario.t) list, string) result

@@ -1,0 +1,99 @@
+Static design analysis: stable rule codes, severities, exit codes.
+
+The shipped examples lint clean. The baseline's vaulting level carries the
+paper's own deliberate convention-3 deviation, reported as an advisory:
+
+  $ ssdep lint ../../examples/designs/orders-db.ssdep
+  clean: 0 error(s), 0 warning(s), 0 info(s)
+
+  $ ssdep lint ../../examples/designs/baseline.ssdep
+  SSDEP-I001  info     level 3 (vaulting)       hold window exceeds level 2's retention window: extra retention capacity is required at level 2 (§3.2.1 convention 3)
+  0 error(s), 0 warning(s), 1 info(s)
+
+Without a file argument the name selects a preset (default: baseline), linted
+under the three baseline failure scenarios. Advisories never fail the run,
+even under --deny-warnings:
+
+  $ ssdep lint --deny-warnings
+  SSDEP-I001  info     level 3 (vaulting)       hold window exceeds level 2's retention window: extra retention capacity is required at level 2 (§3.2.1 convention 3)
+  0 error(s), 0 warning(s), 1 info(s)
+
+A design crowding its array draws a warning: exit 0 normally, exit 1 in CI
+mode. Warnings do not block evaluation.
+
+  $ cat > crowded.ssdep <<'DESIGN'
+  > [workload]
+  > name = crowded
+  > data_capacity = 750 GiB
+  > avg_access_rate = 1 MiB/s
+  > avg_update_rate = 500 KiB/s
+  > burst_multiplier = 4
+  > batch = 1min: 400 KiB/s, 12hr: 200 KiB/s
+  > 
+  > [device box]
+  > location = r/s/b
+  > capacity_slots = 16 x 100 GiB
+  > bandwidth_slots = 8 x 50 MiB/s
+  > enclosure_bandwidth = 300 MiB/s
+  > spare = dedicated 1min
+  > 
+  > [level 0]
+  > technique = primary
+  > device = box
+  > raid = raid1
+  > 
+  > [business]
+  > outage_penalty = $1k/hr
+  > loss_penalty = $1k/hr
+  > DESIGN
+
+  $ ssdep lint crowded.ssdep
+  SSDEP-W001  warning  device box               capacity 93.8% full: little headroom for growth or extra retention
+  0 error(s), 1 warning(s), 0 info(s)
+
+  $ ssdep lint crowded.ssdep --deny-warnings
+  SSDEP-W001  warning  device box               capacity 93.8% full: little headroom for growth or extra retention
+  0 error(s), 1 warning(s), 0 info(s)
+  [1]
+
+A statically invalid design is reported with its rule codes and exits 2
+(where `ssdep check` would refuse to load it at all):
+
+  $ sed 's/750 GiB/1000 GiB/; s/crowded/badcap/' crowded.ssdep > badcap.ssdep
+  $ ssdep lint badcap.ssdep
+  SSDEP-E010  error    device box               capacity overcommitted: 125.0% of 1.56 TiB (20 slots needed, 16 available)
+  1 error(s), 0 warning(s), 0 info(s)
+  [2]
+
+The JSON rendering is stable and machine-readable:
+
+  $ ssdep lint badcap.ssdep --json
+  {
+    "design": "badcap",
+    "diagnostics": [
+      {
+        "code": "SSDEP-E010",
+        "severity": "error",
+        "location": {
+          "kind": "device",
+          "name": "box"
+        },
+        "message": "capacity overcommitted: 125.0% of 1.56 TiB (20 slots needed, 16 available)"
+      }
+    ],
+    "errors": 1,
+    "warnings": 0,
+    "infos": 0
+  }
+  [2]
+
+Textual evaluation output surfaces the design's non-error findings:
+
+  $ ssdep evaluate | grep '^lint'
+  lint: SSDEP-I001  info     level 3 (vaulting)       hold window exceeds level 2's retention window: extra retention capacity is required at level 2 (§3.2.1 convention 3)
+
+A name that is neither a file nor a preset is a usage error:
+
+  $ ssdep lint nonesuch
+  ssdep: unknown design "nonesuch"; available: baseline, weekly vault, weekly vault, F+I, weekly vault, daily F, weekly vault, daily F, snapshot, asyncB mirror, 1 link, asyncB mirror, 10 links (and no such file)
+  [124]

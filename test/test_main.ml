@@ -6,5 +6,6 @@ let () =
    @ Test_protection.suite @ Test_hierarchy.suite @ Test_model.suite
    @ Test_sim.suite @ Test_optimize.suite @ Test_extensions.suite
    @ Test_presets.suite @ Test_spec.suite @ Test_coverage.suite
+   @ Test_lint.suite
    @ Test_random_designs.suite
    @ Test_parallel.suite @ Test_report.suite @ Test_obs.suite)

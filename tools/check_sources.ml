@@ -1,0 +1,88 @@
+(* Source-invariant checker, run as part of [dune runtest].
+
+   The libraries carry a few global invariants that the type checker
+   cannot see but the test suites rely on:
+
+   - Determinism: no ambient randomness. The only [Random.*] use lives in
+     the workload generator's explicit splittable PRNG (lib/workload/
+     prng.ml); everything else must thread seeds, so that every
+     evaluation, simulation and search is reproducible bit for bit.
+
+   - Domain safety: no top-level mutable [Hashtbl] state outside the
+     audited shared-state modules (memo.ml, eval_cache.ml,
+     storage_obs.ml), which guard their tables with mutexes/atomics.
+     A top-level table anywhere else is a data race waiting for the
+     multicore engine. Function-local scratch tables are fine.
+
+   - Libraries never terminate the process: [exit] belongs to bin/, not
+     lib/. A library that exits steals error handling from its caller.
+
+   Usage: check_sources DIR — scans every .ml under DIR, prints
+   file:line: diagnostics, exits 1 on any violation. *)
+
+let violations = ref 0
+
+let report ~file ~line msg =
+  incr violations;
+  Printf.eprintf "%s:%d: %s\n" file line msg
+
+let basename_is names file = List.mem (Filename.basename file) names
+
+(* (pattern, exempt files, message) — patterns are checked per line. *)
+let rules =
+  [
+    ( Str.regexp_string "Random.",
+      [ "prng.ml" ],
+      "ambient randomness: use the seeded splittable PRNG \
+       (Storage_workload.Prng); determinism is a library invariant" );
+    ( Str.regexp "^let .*Hashtbl\\.create",
+      [ "memo.ml"; "eval_cache.ml"; "storage_obs.ml" ],
+      "top-level mutable table outside the audited shared-state modules: \
+       not domain-safe; keep tables function-local or move the state \
+       behind Memo/Eval_cache/Storage_obs" );
+    ( Str.regexp "Stdlib\\.exit\\|\\bexit +[0-9(]",
+      [],
+      "libraries must not terminate the process: return a result and let \
+       bin/ decide the exit code" );
+  ]
+
+let check_line ~file ~lineno line =
+  List.iter
+    (fun (re, exempt, msg) ->
+      if (not (basename_is exempt file))
+         && (try
+               ignore (Str.search_forward re line 0);
+               true
+             with Not_found -> false)
+      then report ~file ~line:lineno msg)
+    rules
+
+let check_file file =
+  In_channel.with_open_text file (fun ic ->
+      let lineno = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          check_line ~file ~lineno:!lineno line
+        done
+      with End_of_file -> ())
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry -> walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then check_file path
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  if not (Sys.file_exists root) then begin
+    Printf.eprintf "check_sources: no such directory %s\n" root;
+    exit 2
+  end;
+  walk root;
+  if !violations > 0 then begin
+    Printf.eprintf "check_sources: %d violation(s)\n" !violations;
+    exit 1
+  end
