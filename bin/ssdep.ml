@@ -71,6 +71,17 @@ let jobs_conv =
   in
   Arg.conv (parse, Fmt.int)
 
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "invalid count %S, expected a positive integer" s))
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs_arg =
   let env =
     Cmd.Env.info "SSDEP_JOBS" ~doc:"Default number of evaluation domains."
@@ -122,6 +133,18 @@ let with_stats stats stats_json body =
         Ok ()
       | exception Sys_error m -> Error m))
   | other -> other)
+
+(* One construction point for the execution engine: --jobs and --stats
+   flow through [Engine.of_cli], and the command body receives a ready
+   engine that is shut down on the way out. *)
+let with_engine ~jobs ~stats ~stats_json body =
+  with_stats stats stats_json @@ fun () ->
+  let engine =
+    Storage_optimize.Engine.of_cli ~jobs ~stats:(stats || stats_json <> None)
+  in
+  Fun.protect
+    ~finally:(fun () -> Storage_optimize.Engine.shutdown engine)
+    (fun () -> body engine)
 
 (* --- tables --- *)
 
@@ -401,7 +424,7 @@ let simulate_cmd =
   in
   let run design scope target_age warmup sweep outage trace jobs stats
       stats_json =
-    with_stats stats stats_json @@ fun () ->
+    with_engine ~jobs ~stats ~stats_json @@ fun engine ->
     match find_design design with
     | Error e -> Error e
     | Ok d -> (
@@ -454,7 +477,7 @@ let simulate_cmd =
                 Duration.hours (float_of_int (i + 1) *. 168. /. float_of_int sweep))
           in
           let runs =
-            Storage_sim.Sim.sweep_failure_phase ~jobs ~config d scenario
+            Storage_sim.Sim.sweep_failure_phase ~engine ~config d scenario
               ~offsets
           in
           List.iteri
@@ -487,8 +510,33 @@ let optimize_cmd =
     let doc = "Recovery point objective in hours (constraint)." in
     Arg.(value & opt (some float) None & info [ "rpo" ] ~docv:"HOURS" ~doc)
   in
-  let run rto rpo jobs stats stats_json =
-    with_stats stats stats_json @@ fun () ->
+  let top_k =
+    let doc =
+      "Keep only the $(docv) cheapest feasible designs (streaming \
+       truncation: search memory stays O(frontier + K) however large \
+       the grid) and print them after the frontier."
+    in
+    Arg.(value & opt (some positive_int_conv) None
+         & info [ "top-k" ] ~docv:"K" ~doc)
+  in
+  let grid_scale =
+    let doc =
+      "Densify the candidate grid (O($(docv)^3) candidates; 1 = the \
+       default ~100-design grid). Large grids are meant for --top-k \
+       streaming searches."
+    in
+    Arg.(value & opt positive_int_conv 1 & info [ "grid-scale" ] ~docv:"S" ~doc)
+  in
+  let max_candidates =
+    let doc =
+      "Refuse to search a grid with more than $(docv) candidate designs \
+       (counted lazily before evaluating anything)."
+    in
+    Arg.(value & opt (some positive_int_conv) None
+         & info [ "max-candidates" ] ~docv:"N" ~doc)
+  in
+  let run rto rpo top_k grid_scale max_candidates jobs stats stats_json =
+    with_engine ~jobs ~stats ~stats_json @@ fun engine ->
     let business =
       Business.make
         ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
@@ -497,29 +545,47 @@ let optimize_cmd =
         ?recovery_point_objective:(Option.map Duration.hours rpo)
         ()
     in
-    let kit =
-      {
-        Storage_optimize.Candidate.workload = Cello.workload;
-        business;
-        primary = Baseline.disk_array;
-        tape_library = Baseline.tape_library;
-        vault = Baseline.vault;
-        remote_array = Baseline.remote_array;
-        san = Baseline.san;
-        shipment = Baseline.air_shipment;
-        wan = (fun links -> Baseline.oc3 ~links);
-      }
+    let kit = Whatif.search_kit ~business () in
+    let space = Whatif.search_space ~scale:grid_scale () in
+    let candidates = Storage_optimize.Candidate.enumerate kit space in
+    let over_budget =
+      (* Enumeration is lazy and persistent, so counting here builds one
+         design at a time and retains none of them. *)
+      match max_candidates with
+      | None -> None
+      | Some bound ->
+        let n = Seq.length candidates in
+        if n > bound then Some (n, bound) else None
     in
-    let candidates =
-      Storage_optimize.Candidate.enumerate kit
-        Storage_optimize.Candidate.default_space
-    in
-    let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
-    let result = Storage_optimize.Search.run ~jobs candidates scenarios in
-    Fmt.pr "%a@." Storage_optimize.Search.pp result;
-    Ok ()
+    match over_budget with
+    | Some (n, bound) ->
+      Error
+        (Printf.sprintf
+           "grid has %d candidate designs, over the --max-candidates budget \
+            of %d; raise the budget or lower --grid-scale"
+           n bound)
+    | None ->
+      let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
+      let result =
+        Storage_optimize.Search.run ~engine ?top_k candidates scenarios
+      in
+      Fmt.pr "%a@." Storage_optimize.Search.pp result;
+      (match top_k with
+      | None -> ()
+      | Some k ->
+        Fmt.pr "top %d feasible (of %d):@." (min k result.feasible_count)
+          result.Storage_optimize.Search.feasible_count;
+        List.iteri
+          (fun i s ->
+            Fmt.pr "  %2d. %a@." (i + 1) Storage_optimize.Objective.pp s)
+          result.Storage_optimize.Search.feasible);
+      Ok ()
   in
-  let term = Term.(const run $ rto $ rpo $ jobs_arg $ stats_arg $ stats_json_arg) in
+  let term =
+    Term.(
+      const run $ rto $ rpo $ top_k $ grid_scale $ max_candidates $ jobs_arg
+      $ stats_arg $ stats_json_arg)
+  in
   let info =
     Cmd.info "optimize"
       ~doc:

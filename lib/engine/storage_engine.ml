@@ -1,0 +1,134 @@
+(* The execution context shared by every evaluation loop.
+
+   Concurrency notes: [pool] and [slots] are guarded by [lock]. The pool
+   is created lazily so that serial engines never spawn domains, and
+   reused across batches so that a long what-if session pays the domain
+   spawn cost once. Slots hold values behind an extensible-variant
+   universal type: each [new_key] mints a fresh constructor, so a slot
+   can only ever be read back at the type it was written with. *)
+
+type binding = ..
+
+type 'a key = {
+  uid : int;
+  inj : 'a -> binding;
+  proj : binding -> 'a option;
+}
+
+let next_uid = Atomic.make 0
+
+let new_key (type a) () : a key =
+  let module M = struct
+    type binding += K of a
+  end in
+  {
+    uid = Atomic.fetch_and_add next_uid 1;
+    inj = (fun v -> M.K v);
+    proj = (function M.K v -> Some v | _ -> None);
+  }
+
+type t = {
+  jobs : int;
+  lint : bool;
+  seed : int64;
+  stats : bool;
+  cache_bound : int option;
+  lock : Mutex.t;
+  mutable pool : Storage_parallel.Pool.t option;
+  slots : (int, binding) Hashtbl.t;
+}
+
+(* Same fixed constant as the historical Risk.monte_carlo default, so an
+   engine-less call and a default engine agree bit for bit. *)
+let default_seed = 0xCA5CADEL
+
+let create ?(jobs = 1) ?(lint = true) ?(seed = default_seed) ?(stats = false)
+    ?cache_bound () =
+  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  (match cache_bound with
+  | Some n when n < 1 -> invalid_arg "Engine.create: cache_bound must be >= 1"
+  | _ -> ());
+  if stats then Storage_obs.enable ();
+  {
+    jobs;
+    lint;
+    seed;
+    stats;
+    cache_bound;
+    lock = Mutex.create ();
+    pool = None;
+    slots = Hashtbl.create 8;
+  }
+
+(* Unattended front ends share one bound: large enough that the CLI's
+   design grids (hundreds of candidates x a few scenarios) never evict,
+   small enough that streaming a million-design grid stays bounded. *)
+let of_cli ~jobs ~stats = create ~jobs ~stats ~cache_bound:8192 ()
+
+let jobs t = t.jobs
+let lint t = t.lint
+let seed t = t.seed
+let stats t = t.stats
+let cache_bound t = t.cache_bound
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception exn ->
+    Mutex.unlock t.lock;
+    raise exn
+
+let pool t =
+  if t.jobs <= 1 then None
+  else
+    Some
+      (locked t (fun () ->
+           match t.pool with
+           | Some p -> p
+           | None ->
+             let p = Storage_parallel.Pool.create ~jobs:t.jobs in
+             t.pool <- Some p;
+             p))
+
+let shutdown t =
+  let p = locked t (fun () ->
+      let p = t.pool in
+      t.pool <- None;
+      p)
+  in
+  Option.iter Storage_parallel.Pool.shutdown p
+
+let with_engine ?jobs ?lint ?seed ?stats f =
+  let t = create ?jobs ?lint ?seed ?stats () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f xs =
+  match pool t with
+  | None -> List.map f xs
+  | Some p -> Storage_parallel.Pool.map_on p f xs
+
+let map_seq ?window t f xs =
+  match pool t with
+  | None -> Seq.map f xs
+  | Some p -> Storage_parallel.Pool.map_seq ?window p f xs
+
+let slot t key ~default =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.slots key.uid with
+      | Some b -> (
+        match key.proj b with
+        | Some v -> v
+        | None ->
+          (* Unreachable: [uid]s are unique, so a binding stored under
+             [key.uid] was built with [key.inj]. *)
+          assert false)
+      | None ->
+        let v = default () in
+        Hashtbl.replace t.slots key.uid (key.inj v);
+        v)
+
+let set_slot t key v =
+  locked t (fun () -> Hashtbl.replace t.slots key.uid (key.inj v))

@@ -1,0 +1,108 @@
+(** A first-class execution context for the evaluation loops.
+
+    The framework's outer loops — design-space search, sensitivity sweeps,
+    portfolio evaluation, Monte-Carlo risk, failure-phase sweeps — share
+    the same execution machinery: a {!Storage_parallel.Pool} of domains,
+    a memoized evaluation cache, the static lint pre-filter policy, the
+    {!Storage_obs} stats switch and a PRNG seed for stochastic stages.
+    Threading those as per-call [?jobs]/[?cache]/[?lint] optional
+    arguments does not scale past a handful of entry points (every new
+    loop re-grows the triple); an [Engine.t] owns them once and is passed
+    whole.
+
+    Ownership and lifecycle:
+    - The engine owns its domain pool. The pool is created lazily on the
+      first parallel [map]/[map_seq] (so a [jobs = 1] engine never spawns
+      a domain) and is reused across every subsequent batch until
+      {!shutdown}.
+    - The engine owns one {e slot} per typed key (see {!new_key}):
+      higher layers stash their caches there — e.g.
+      [Eval_cache.of_engine] — without this module depending on them.
+      Slots are created on first use under the engine's mutex and live
+      until the engine is garbage collected.
+    - Lint policy, stats flag and seed are immutable configuration.
+
+    Engines are cheap to create; [create ()] is the serial default used
+    by every entry point when no engine is passed. All operations are
+    domain-safe. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?lint:bool ->
+  ?seed:int64 ->
+  ?stats:bool ->
+  ?cache_bound:int ->
+  unit ->
+  t
+(** [create ()] is a serial engine: [jobs = 1], lint pre-filtering on,
+    the framework's fixed default seed, stats off, unbounded cache
+    policy. Raises [Invalid_argument] when [jobs < 1] or
+    [cache_bound < 1]. [~stats:true] additionally turns the global
+    {!Storage_obs} registry on. *)
+
+val of_cli : jobs:int -> stats:bool -> t
+(** The one construction point for command-line front ends: routes
+    [--jobs] and [--stats] into an engine with a bounded evaluation-cache
+    policy suitable for unattended runs (see {!cache_bound}). *)
+
+val with_engine :
+  ?jobs:int -> ?lint:bool -> ?seed:int64 -> ?stats:bool -> (t -> 'a) -> 'a
+(** [with_engine f] runs [f] with a fresh engine and shuts it down on the
+    way out (including on exceptions). *)
+
+val jobs : t -> int
+val lint : t -> bool
+(** Whether search/portfolio loops should statically pre-filter
+    candidates with the design linter before evaluating them. *)
+
+val seed : t -> int64
+(** Seed for stochastic stages (Monte-Carlo risk). Fixed default, so
+    results are reproducible unless the caller opts into another seed. *)
+
+val stats : t -> bool
+
+val cache_bound : t -> int option
+(** Advisory bound for caches attached to this engine: [Some n] caps an
+    engine-owned evaluation cache at [n] entries (FIFO eviction) so that
+    streaming over a million-design grid keeps cache memory O(bound);
+    [None] (the [create] default) leaves it unbounded. [of_cli] engines
+    are bounded. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map e f xs] is [List.map f xs] computed on the engine's pool
+    ([jobs = 1] short-circuits to [List.map]). Results are in input
+    order; the first exception by input index is re-raised. *)
+
+val map_seq : ?window:int -> t -> ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
+(** Streaming map over the engine's pool: see
+    {!Storage_parallel.Pool.map_seq}. [jobs = 1] short-circuits to
+    [Seq.map]. *)
+
+val shutdown : t -> unit
+(** Stops and joins the engine's pool domains, if any were spawned.
+    Idempotent; a later parallel [map] re-creates the pool. *)
+
+(** {1 Typed slots}
+
+    An engine carries arbitrary state for higher layers (caches,
+    memo tables) without depending on their types: each layer mints a
+    ['a key] once at module-init time and gets its own slot per engine.
+    This inverts the dependency — [lib/engine] sits {e below} the model
+    layer, yet an engine can own the model's evaluation cache. *)
+
+type 'a key
+
+val new_key : unit -> 'a key
+(** A fresh key, distinct from every other key. Keys are cheap and are
+    meant to be created once per use-site (at module initialization),
+    not per call. *)
+
+val slot : t -> 'a key -> default:(unit -> 'a) -> 'a
+(** [slot e k ~default] returns the value stored under [k], creating it
+    with [default ()] (under the engine mutex) on first use. *)
+
+val set_slot : t -> 'a key -> 'a -> unit
+(** Replaces the slot value — e.g. to attach a pre-warmed or
+    specially-bounded cache before a run. *)

@@ -7,6 +7,17 @@ let create ?max_entries () = Memo.create ?max_entries ~size:256 ()
 let key design scenario =
   Design.fingerprint design ^ ":" ^ Scenario.fingerprint scenario
 
+(* One cache slot per engine, minted once at module init: [of_engine]
+   inverts the layering (the engine sits below the model yet owns the
+   model's cache) via the engine's typed-slot store. *)
+let engine_key : t Storage_engine.key = Storage_engine.new_key ()
+
+let of_engine e =
+  Storage_engine.slot e engine_key ~default:(fun () ->
+      create ?max_entries:(Storage_engine.cache_bound e) ())
+
+let attach e t = Storage_engine.set_slot e engine_key t
+
 let run t design scenario =
   Memo.find_or_add t (key design scenario) (fun () ->
       Evaluate.run design scenario)

@@ -19,6 +19,17 @@ val create : ?max_entries:int -> unit -> t
 (** [max_entries] bounds the cache with FIFO eviction (see
     {!Storage_parallel.Memo.create}); the default is unbounded. *)
 
+val of_engine : Storage_engine.t -> t
+(** The engine's evaluation cache: created on first use (honouring the
+    engine's {!Storage_engine.cache_bound} policy) and stored in an
+    engine slot, so every loop run on the same engine shares one cache.
+    This is how [?engine] entry points resolve their cache — the engine
+    itself has no compile-time knowledge of this module. *)
+
+val attach : Storage_engine.t -> t -> unit
+(** Makes [t] the engine's cache — e.g. a pre-warmed cache from an
+    earlier session, or one with a custom [max_entries] bound. *)
+
 val key : Design.t -> Scenario.t -> string
 (** The cache key: both fingerprints, joined. *)
 

@@ -137,19 +137,33 @@ let outlays t =
    report into the one [lint.pruned] metric. *)
 let obs_pruned = Storage_obs.Counter.make "lint.pruned"
 
-let evaluate ?(jobs = 1) ?cache ?(lint = true) t scenario =
-  let members =
-    if not lint then t.members
-    else
-      List.filter
-        (fun (m : Design.t) ->
-          match Design.validate m with
-          | Ok () -> true
-          | Error _ ->
-            Storage_obs.Counter.incr obs_pruned;
-            false)
-        t.members
-  in
+let lint_members t =
+  List.filter
+    (fun (m : Design.t) ->
+      match Design.validate m with
+      | Ok () -> true
+      | Error _ ->
+        Storage_obs.Counter.incr obs_pruned;
+        false)
+    t.members
+
+let evaluate ?engine t scenario =
+  match engine with
+  | None ->
+    List.map
+      (fun (m : Design.t) -> (m.Design.name, Evaluate.run m scenario))
+      (lint_members t)
+  | Some e ->
+    let members =
+      if Storage_engine.lint e then lint_members t else t.members
+    in
+    let cache = Eval_cache.of_engine e in
+    Storage_engine.map e
+      (fun (m : Design.t) -> (m.Design.name, Eval_cache.run cache m scenario))
+      members
+
+let legacy_evaluate ?(jobs = 1) ?cache ?(lint = true) t scenario =
+  let members = if lint then lint_members t else t.members in
   let eval =
     match cache with
     | None -> fun m -> Evaluate.run m scenario

@@ -45,21 +45,32 @@ val outlays : t -> (string * Money.t) list * Money.t
     and bandwidth only. *)
 
 val evaluate :
-  ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> t -> Scenario.t ->
+  ?engine:Storage_engine.t -> t -> Scenario.t ->
   (string * Evaluate.report) list
 (** Evaluates every member under the scenario. Each member's recovery
     competes with the others' normal-mode traffic (via the background
     demands), which is the conservative reading of a shared-infrastructure
-    disaster. [?jobs] (default 1 = serial) spreads members over a
-    {!Storage_parallel.Pool}; results are in member order regardless.
-    [?cache] memoizes member evaluations across calls.
+    disaster. Results are in member order whatever the engine's [jobs].
 
-    [?lint] (default [true]) skips members that fail {!Design.validate}
-    (typically overcommitted by the combined background load) instead of
-    evaluating them into a report full of validation errors; each skip
-    increments the shared [lint.pruned] {!Storage_obs} counter. Such
-    members still show up in {!overcommitted}, which is the right place
-    to diagnose a consolidation that does not fit. Pass [~lint:false] to
-    get a (failed) report for every member. *)
+    The [?engine] supplies parallelism, the shared evaluation cache
+    ({!Eval_cache.of_engine}) and the lint policy. Without an engine the
+    evaluation is serial, uncached, lint on — byte-identical to the
+    default engine's results.
+
+    When the engine's lint policy is on (the default), members that fail
+    {!Design.validate} (typically overcommitted by the combined
+    background load) are skipped instead of evaluated into a report full
+    of validation errors; each skip increments the shared [lint.pruned]
+    {!Storage_obs} counter. Such members still show up in
+    {!overcommitted}, which is the right place to diagnose a
+    consolidation that does not fit. Pass an engine created with
+    [~lint:false] to get a (failed) report for every member. *)
+
+val legacy_evaluate :
+  ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> t -> Scenario.t ->
+  (string * Evaluate.report) list
+[@@deprecated "use Portfolio.evaluate ?engine"]
+(** The pre-engine entry point: identical semantics with the knobs spelt
+    as per-call arguments. *)
 
 val pp : t Fmt.t

@@ -98,8 +98,11 @@ let poisson rng ~lambda =
     if x < 0. then 0 else int_of_float x
   end
 
-let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) ?(jobs = 1) design
-    weighted_list ~horizon_years =
+(* [map] abstracts over how the samples are spread across domains: the
+   engine's pool, a one-shot [Pool.map ~jobs] (legacy shim), or plain
+   [List.map]. Every sample seeds its own generator, so the distribution
+   is independent of the slicing. *)
+let monte_carlo_with ~map ~seed ~samples design weighted_list ~horizon_years =
   if weighted_list = [] then invalid_arg "Risk.monte_carlo: no scenarios";
   if horizon_years <= 0. then invalid_arg "Risk.monte_carlo: non-positive horizon";
   if samples <= 0 then invalid_arg "Risk.monte_carlo: non-positive samples";
@@ -134,9 +137,7 @@ let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) ?(jobs = 1) design
         acc +. (float_of_int (poisson rng ~lambda) *. penalty))
       outlays priced
   in
-  let draws =
-    Array.of_list (Storage_parallel.Pool.map ~jobs draw_sample sample_seeds)
-  in
+  let draws = Array.of_list (map draw_sample sample_seeds) in
   Array.sort Float.compare draws;
   let n = float_of_int samples in
   let mean = Array.fold_left ( +. ) 0. draws /. n in
@@ -161,6 +162,26 @@ let monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) ?(jobs = 1) design
     p99 = percentile 0.99;
     max = Money.usd draws.(samples - 1);
   }
+
+let monte_carlo ?engine ?seed ?(samples = 10_000) design weighted_list
+    ~horizon_years =
+  let seed =
+    match (seed, engine) with
+    | Some s, _ -> s
+    | None, Some e -> Storage_engine.seed e
+    | None, None -> 0xCA5CADEL
+  in
+  let map f xs =
+    match engine with
+    | None -> List.map f xs
+    | Some e -> Storage_engine.map e f xs
+  in
+  monte_carlo_with ~map ~seed ~samples design weighted_list ~horizon_years
+
+let legacy_monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) ?(jobs = 1)
+    design weighted_list ~horizon_years =
+  let map f xs = Storage_parallel.Pool.map ~jobs f xs in
+  monte_carlo_with ~map ~seed ~samples design weighted_list ~horizon_years
 
 let pp_distribution ppf d =
   Fmt.pf ppf

@@ -60,9 +60,9 @@ type distribution = {
 }
 
 val monte_carlo :
+  ?engine:Storage_engine.t ->
   ?seed:int64 ->
   ?samples:int ->
-  ?jobs:int ->
   Design.t ->
   weighted list ->
   horizon_years:float ->
@@ -79,11 +79,26 @@ val monte_carlo :
     multiplicative method's acceptance threshold underflows near
     [lambda ~ 745].
 
-    Each sample draws from its own generator seeded off [seed], so for a
-    fixed [seed] the distribution is bit-identical for every [jobs]
-    value; [jobs > 1] only spreads the sampling across domains. Raises
-    [Invalid_argument] on an empty scenario list, non-positive horizon,
-    samples or jobs, or negative frequencies. *)
+    The [?engine] supplies the domains and, when [?seed] is not given,
+    the seed ({!Storage_engine.seed}; its default is this function's
+    historical default, so engine-less and default-engine runs agree bit
+    for bit). Each sample draws from its own generator seeded off the
+    master seed, so for a fixed seed the distribution is bit-identical
+    for every [jobs] value; more jobs only spread the sampling across
+    domains. Raises [Invalid_argument] on an empty scenario list,
+    non-positive horizon or samples, or negative frequencies. *)
+
+val legacy_monte_carlo :
+  ?seed:int64 ->
+  ?samples:int ->
+  ?jobs:int ->
+  Design.t ->
+  weighted list ->
+  horizon_years:float ->
+  distribution
+[@@deprecated "use Risk.monte_carlo ?engine"]
+(** The pre-engine entry point: identical distribution for equal seeds
+    and samples, with parallelism as a per-call [?jobs]. *)
 
 val pp : t Fmt.t
 val pp_distribution : distribution Fmt.t

@@ -51,101 +51,113 @@ let label_duration d =
   else if h >= 1. then Printf.sprintf "%.0fh" h
   else Printf.sprintf "%.0fmin" (Duration.to_minutes d)
 
+(* Scaled spaces for large-grid searches: same two PiT techniques and
+   mirror family as [default_space], with the accumulation dimensions
+   densified so that the grid grows as O(scale^3). The retention horizons
+   are stretched (26 weeks of backups, 6 years of vault copies) so that
+   retention counts stay non-decreasing up the hierarchy for every
+   accumulation combination — a denser grid of valid designs, not a
+   denser grid of lint rejects. *)
+let scaled_space ~scale =
+  if scale <= 1 then default_space
+  else
+    let spread lo hi n =
+      List.init n (fun i ->
+          Duration.hours
+            (lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1))))
+    in
+    {
+      pit_techniques = [ `Split_mirror; `Snapshot ];
+      pit_accumulations = spread 2. 24. (5 * scale);
+      pit_retentions = [ 2; 3; 4 ];
+      backup_accumulations = spread 24. 168. (4 * scale);
+      backup_retention_horizon = Duration.weeks 26.;
+      vault_accumulations = spread 168. (8. *. 168.) (3 * scale);
+      vault_retention_horizon = Duration.years 6.;
+      mirror_links = [ 1; 2; 3; 4; 6; 8; 10 ];
+    }
+
 let tape_designs kit space =
-  let designs = ref [] in
-  List.iter
-    (fun pit_kind ->
-      List.iter
-        (fun pit_acc ->
-          List.iter
-            (fun pit_ret ->
-              List.iter
-                (fun backup_acc ->
-                  List.iter
-                    (fun vault_acc ->
-                      let pit_schedule =
-                        Schedule.simple ~acc:pit_acc ~retention_count:pit_ret ()
-                      in
-                      let pit_technique =
-                        match pit_kind with
-                        | `Split_mirror -> Technique.Split_mirror pit_schedule
-                        | `Snapshot -> Technique.Virtual_snapshot pit_schedule
-                      in
-                      let backup_prop =
-                        Duration.min (Duration.scale 0.5 backup_acc)
-                          (Duration.hours 48.)
-                      in
-                      let backup_schedule =
-                        Schedule.simple ~acc:backup_acc ~prop:backup_prop
-                          ~hold:(Duration.hours 1.)
-                          ~retention_count:
-                            (retention_for
-                               ~horizon:space.backup_retention_horizon
-                               ~cycle:backup_acc)
-                          ()
-                      in
-                      let vault_schedule =
-                        Schedule.simple ~acc:vault_acc
-                          ~prop:(Duration.hours 24.)
-                          ~hold:(Duration.hours 12.)
-                          ~retention_count:
-                            (retention_for
-                               ~horizon:space.vault_retention_horizon
-                               ~cycle:vault_acc)
-                          ()
-                      in
-                      let name =
-                        Printf.sprintf "%s/%s x%d, backup/%s, vault/%s"
-                          (match pit_kind with
-                          | `Split_mirror -> "mirror"
-                          | `Snapshot -> "snap")
-                          (label_duration pit_acc) pit_ret
-                          (label_duration backup_acc)
-                          (label_duration vault_acc)
-                      in
-                      match
-                        Hierarchy.make
-                          [
-                            {
-                              Hierarchy.technique =
-                                Technique.Primary_copy { raid = Raid.Raid1 };
-                              device = kit.primary;
-                              link = None;
-                            };
-                            {
-                              technique = pit_technique;
-                              device = kit.primary;
-                              link = None;
-                            };
-                            {
-                              technique = Technique.Backup backup_schedule;
-                              device = kit.tape_library;
-                              link = Some kit.san;
-                            };
-                            {
-                              technique = Technique.Vaulting vault_schedule;
-                              device = kit.vault;
-                              link = Some kit.shipment;
-                            };
-                          ]
-                      with
-                      | Error _ -> ()
-                      | Ok hierarchy ->
-                        let design =
-                          Design.make ~name ~workload:kit.workload ~hierarchy
-                            ~business:kit.business ()
-                        in
-                        if Design.validate design = Ok () then
-                          designs := design :: !designs)
-                    space.vault_accumulations)
-                space.backup_accumulations)
-            space.pit_retentions)
-        space.pit_accumulations)
-    space.pit_techniques;
-  List.rev !designs
+  let ( let* ) xs f = Seq.concat_map f (List.to_seq xs) in
+  let* pit_kind = space.pit_techniques in
+  let* pit_acc = space.pit_accumulations in
+  let* pit_ret = space.pit_retentions in
+  let* backup_acc = space.backup_accumulations in
+  Seq.filter_map
+    (fun vault_acc ->
+      let pit_schedule =
+        Schedule.simple ~acc:pit_acc ~retention_count:pit_ret ()
+      in
+      let pit_technique =
+        match pit_kind with
+        | `Split_mirror -> Technique.Split_mirror pit_schedule
+        | `Snapshot -> Technique.Virtual_snapshot pit_schedule
+      in
+      let backup_prop =
+        Duration.min (Duration.scale 0.5 backup_acc) (Duration.hours 48.)
+      in
+      let backup_schedule =
+        Schedule.simple ~acc:backup_acc ~prop:backup_prop
+          ~hold:(Duration.hours 1.)
+          ~retention_count:
+            (retention_for ~horizon:space.backup_retention_horizon
+               ~cycle:backup_acc)
+          ()
+      in
+      let vault_schedule =
+        Schedule.simple ~acc:vault_acc
+          ~prop:(Duration.hours 24.)
+          ~hold:(Duration.hours 12.)
+          ~retention_count:
+            (retention_for ~horizon:space.vault_retention_horizon
+               ~cycle:vault_acc)
+          ()
+      in
+      let name =
+        Printf.sprintf "%s/%s x%d, backup/%s, vault/%s"
+          (match pit_kind with
+          | `Split_mirror -> "mirror"
+          | `Snapshot -> "snap")
+          (label_duration pit_acc) pit_ret
+          (label_duration backup_acc)
+          (label_duration vault_acc)
+      in
+      match
+        Hierarchy.make
+          [
+            {
+              Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+              device = kit.primary;
+              link = None;
+            };
+            {
+              technique = pit_technique;
+              device = kit.primary;
+              link = None;
+            };
+            {
+              technique = Technique.Backup backup_schedule;
+              device = kit.tape_library;
+              link = Some kit.san;
+            };
+            {
+              technique = Technique.Vaulting vault_schedule;
+              device = kit.vault;
+              link = Some kit.shipment;
+            };
+          ]
+      with
+      | Error _ -> None
+      | Ok hierarchy ->
+        let design =
+          Design.make ~name ~workload:kit.workload ~hierarchy
+            ~business:kit.business ()
+        in
+        if Design.validate design = Ok () then Some design else None)
+    (List.to_seq space.vault_accumulations)
 
 let mirror_designs kit space =
-  List.filter_map
+  Seq.filter_map
     (fun links ->
       let schedule =
         Schedule.simple ~acc:(Duration.minutes 1.) ~prop:(Duration.minutes 1.)
@@ -176,6 +188,9 @@ let mirror_designs kit space =
             ~workload:kit.workload ~hierarchy ~business:kit.business ()
         in
         if Design.validate design = Ok () then Some design else None)
-    space.mirror_links
+    (List.to_seq space.mirror_links)
 
-let enumerate kit space = tape_designs kit space @ mirror_designs kit space
+let enumerate kit space =
+  Seq.append (tape_designs kit space) (mirror_designs kit space)
+
+let legacy_enumerate kit space = List.of_seq (enumerate kit space)

@@ -41,7 +41,22 @@ type space = {
 val default_space : space
 (** A moderate grid (~100 designs) around the paper's case study. *)
 
-val enumerate : kit -> space -> Design.t list
-(** All structurally valid candidate designs: the tape-based family (PiT x
-    backup x vault policies) plus the mirror family (one per link count).
-    Design names encode their parameters. *)
+val scaled_space : scale:int -> space
+(** A grid that grows as O(scale^3) by densifying the accumulation
+    dimensions of {!default_space} (retention horizons stretched so the
+    extra combinations stay structurally valid). [scale <= 1] is
+    {!default_space}; [scale = 7] is on the order of 10^5 candidates —
+    sized for streaming search, not for materializing. *)
+
+val enumerate : kit -> space -> Design.t Seq.t
+(** All structurally valid candidate designs, lazily: the tape-based
+    family (PiT x backup x vault policies) followed by the mirror family
+    (one per link count). Design names encode their parameters. Each
+    element is built (and validated) only when forced, so a grid of a
+    million candidates costs no memory until — and no more than a
+    window's worth while — it is consumed; the sequence is persistent and
+    re-enumerates on re-traversal. *)
+
+val legacy_enumerate : kit -> space -> Design.t list
+[@@deprecated "use Candidate.enumerate (a lazy Seq.t)"]
+(** [enumerate] forced into a materialized list, in the same order. *)

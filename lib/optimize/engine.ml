@@ -1,0 +1,3 @@
+(* Re-export: search users build engines constantly, so the optimize
+   namespace carries the engine module as [Storage_optimize.Engine]. *)
+include Storage_engine

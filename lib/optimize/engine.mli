@@ -1,0 +1,7 @@
+(** {!Storage_engine} re-exported next to the search loops that consume
+    it: [Storage_optimize.Engine.create ~jobs:8 ()] is the usual way to
+    set up a parallel search session. *)
+
+include module type of struct
+  include Storage_engine
+end

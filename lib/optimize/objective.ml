@@ -12,13 +12,7 @@ type summary = {
   feasible : bool;
 }
 
-let summarize ?cache design scenarios =
-  if scenarios = [] then invalid_arg "Objective.summarize: no scenarios";
-  let reports =
-    match cache with
-    | None -> Evaluate.run_all design scenarios
-    | Some c -> Eval_cache.run_all c design scenarios
-  in
+let summarize_reports design reports =
   let outlays = (List.hd reports).Evaluate.outlays.Cost.total in
   let worst_recovery_time =
     List.fold_left
@@ -57,6 +51,24 @@ let summarize ?cache design scenarios =
     worst_total_cost = Money.add outlays worst_penalties;
     feasible;
   }
+
+let summarize ?engine design scenarios =
+  if scenarios = [] then invalid_arg "Objective.summarize: no scenarios";
+  let reports =
+    match engine with
+    | None -> Evaluate.run_all design scenarios
+    | Some e -> Eval_cache.run_all (Eval_cache.of_engine e) design scenarios
+  in
+  summarize_reports design reports
+
+let legacy_summarize ?cache design scenarios =
+  if scenarios = [] then invalid_arg "Objective.summarize: no scenarios";
+  let reports =
+    match cache with
+    | None -> Evaluate.run_all design scenarios
+    | Some c -> Eval_cache.run_all c design scenarios
+  in
+  summarize_reports design reports
 
 let pp ppf s =
   Fmt.pf ppf "%-32s out %-9s worst RT %-9s worst DL %-10s total %-9s%s"

@@ -21,9 +21,16 @@ type summary = {
           specified RTO/RPO met in every scenario *)
 }
 
-val summarize : ?cache:Eval_cache.t -> Design.t -> Scenario.t list -> summary
-(** Raises [Invalid_argument] on an empty scenario list. [?cache] memoizes
-    the per-(design, scenario) evaluations; the summary is identical with
-    or without it. *)
+val summarize :
+  ?engine:Storage_engine.t -> Design.t -> Scenario.t list -> summary
+(** Raises [Invalid_argument] on an empty scenario list. With an
+    [?engine], the per-(design, scenario) evaluations go through the
+    engine's shared {!Eval_cache}; the summary is identical with or
+    without it. *)
+
+val legacy_summarize :
+  ?cache:Eval_cache.t -> Design.t -> Scenario.t list -> summary
+[@@deprecated "use Objective.summarize ?engine"]
+(** The pre-engine entry point, with the cache as a per-call argument. *)
 
 val pp : summary Fmt.t

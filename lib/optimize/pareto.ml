@@ -10,7 +10,29 @@ let dominates (a : Objective.summary) (b : Objective.summary) =
   let dl = Data_loss.compare_loss a.Objective.worst_loss b.Objective.worst_loss in
   cost <= 0 && rt <= 0 && dl <= 0 && (cost < 0 || rt < 0 || dl < 0)
 
-let frontier summaries =
+(* Incremental frontier: the survivors so far, in input order. [insert]
+   drops the newcomer if any survivor dominates it, otherwise evicts the
+   survivors it dominates and appends it. Because [dominates] is a strict
+   partial order (irreflexive: equal points never dominate each other),
+   an element dominated by the newcomer cannot itself dominate a later
+   input that the newcomer would not also dominate — so insertion-time
+   eviction loses nothing, and folding [insert] over the input yields
+   exactly the non-dominated subset in input order, i.e. the same list
+   as the quadratic [frontier_reference] filter. Each insertion is
+   O(front); the whole fold is O(n x front) instead of O(n^2), and
+   streaming search never holds more than the frontier itself. *)
+type front = Objective.summary list
+
+let empty = []
+
+let insert front s =
+  if List.exists (fun survivor -> dominates survivor s) front then front
+  else List.filter (fun survivor -> not (dominates s survivor)) front @ [ s ]
+
+let contents front = front
+let frontier summaries = List.fold_left insert empty summaries
+
+let frontier_reference summaries =
   List.filter
     (fun s -> not (List.exists (fun other -> dominates other s) summaries))
     summaries

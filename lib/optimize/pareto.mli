@@ -10,5 +10,31 @@ val dominates : Objective.summary -> Objective.summary -> bool
     [Entire_object] losses compare worse than any finite loss. *)
 
 val frontier : Objective.summary list -> Objective.summary list
-(** Non-dominated subset, preserving input order. O(n^2); candidate sets
-    are design grids of at most a few thousand. *)
+(** Non-dominated subset, preserving input order. Computed incrementally
+    (a fold of {!insert}); O(n x frontier size) rather than the old
+    O(n^2) scan, and provably equal — list for list — to
+    {!frontier_reference}. *)
+
+val frontier_reference : Objective.summary list -> Objective.summary list
+(** The quadratic specification: filter out everything some other element
+    dominates. Kept as the oracle for the incremental implementation's
+    property tests; prefer {!frontier}. *)
+
+(** {1 Online frontier}
+
+    Streaming search folds candidates through an accumulator so the
+    frontier of a million-design grid is maintained in O(frontier)
+    memory. *)
+
+type front
+(** The non-dominated subset of the elements inserted so far. *)
+
+val empty : front
+
+val insert : front -> Objective.summary -> front
+(** Drops the newcomer if dominated; otherwise evicts what it dominates
+    and keeps it. [contents (List.fold_left insert empty xs)] is
+    [frontier xs]. *)
+
+val contents : front -> Objective.summary list
+(** Survivors in insertion order. *)

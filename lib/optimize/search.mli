@@ -1,45 +1,77 @@
 open Storage_model
 
-(** The outer optimization loop: evaluate every candidate, keep the
-    feasible ones, rank by worst-case total cost, and expose the Pareto
-    frontier for human inspection. *)
+(** The outer optimization loop: stream every candidate through the
+    engine, keep the feasible ones, rank by worst-case total cost, and
+    expose the Pareto frontier for human inspection. *)
 
 type result = {
-  evaluated : Objective.summary list;  (** every candidate, input order *)
+  evaluated : Objective.summary list;
+      (** every candidate, input order; [[]] when [~top_k] truncation is
+          on (the full set is deliberately not retained) *)
   feasible : Objective.summary list;
-      (** candidates meeting RTO/RPO in all scenarios, cheapest first *)
+      (** candidates meeting RTO/RPO in all scenarios, cheapest first;
+          truncated to the [~top_k] cheapest when given *)
   frontier : Objective.summary list;
       (** Pareto-optimal candidates over (outlays, worst RT, worst DL) *)
   best : Objective.summary option;
       (** cheapest feasible design by worst-case total cost *)
+  considered : int;
+      (** candidates evaluated (after lint pruning) — the length
+          [evaluated] would have had *)
+  feasible_count : int;
+      (** feasible candidates seen — the length [feasible] would have
+          had without truncation *)
 }
 
 val run :
+  ?engine:Storage_engine.t ->
+  ?top_k:int ->
+  Design.t Seq.t ->
+  Scenario.t list ->
+  result
+(** [run candidates scenarios] consumes the candidate sequence once,
+    streaming: each element is lint-checked, evaluated through the
+    engine's shared {!Eval_cache} (on the engine's domains, in bounded
+    windows — see {!Storage_engine.map_seq}), and folded into the
+    result. Raises [Invalid_argument] on an empty candidate sequence or
+    scenario list.
+
+    Memory: without [~top_k] the full [evaluated]/[feasible] lists are
+    returned, so memory is O(grid) as before. With [~top_k:k] only the
+    [k] cheapest feasible summaries and the incremental Pareto frontier
+    are retained — O(frontier + k) — which is what lets a million-design
+    grid stream through a constant-size working set. [evaluated] is
+    [[]] in that mode; [considered]/[feasible_count] still report the
+    totals. Raises [Invalid_argument] when [top_k < 1].
+
+    The engine's lint policy (default on) statically pre-filters the
+    stream with [Storage_lint]: candidates carrying a lint {e error}
+    (overcommitted devices, unsustainable links — exactly the conditions
+    that make {!Evaluate.run} attach validation errors) are dropped
+    before any evaluation, each incrementing the [lint.pruned]
+    {!Storage_obs} counter. The result is identical to running over a
+    hand-filtered grid; an engine with [~lint:false] scores statically
+    invalid designs anyway (they come back infeasible). If every
+    candidate is pruned the result is empty rather than an error.
+
+    Whatever the engine's [jobs], every list of the result is in the
+    same (input-derived) order and every summary is identical to a
+    serial run's — evaluation is pure, and the streaming map preserves
+    input order. Without [?engine] the search runs on a fresh serial
+    engine (evaluations still share that run's cache, so duplicate
+    candidates are evaluated once); pass an engine to add domains and to
+    share the cache across the searches of an iterative what-if
+    session — re-visited candidates cost a lookup, not an evaluation.
+    The cache never changes any metric. *)
+
+val legacy_run :
   ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> Design.t list ->
   Scenario.t list -> result
-(** Raises [Invalid_argument] on empty candidates or scenarios.
-
-    [?lint] (default [true]) statically pre-filters the candidates with
-    [Storage_lint]: candidates carrying a lint {e error} (overcommitted
-    devices, unsustainable links — exactly the conditions that make
-    {!Evaluate.run} attach validation errors) are pruned before any
-    evaluation, each incrementing the [lint.pruned] {!Storage_obs}
-    counter. The result is identical to running over the hand-filtered
-    candidate list; pass [~lint:false] to score statically invalid
-    designs anyway (they come back infeasible). If every candidate is
-    pruned the result is empty rather than an error.
-
-    [?jobs] (default 1 = serial) evaluates candidates on that many domains
-    via {!Storage_parallel.Pool}; every list of the result is in the same
-    (input-derived) order whatever [jobs] is, and the summaries are
-    identical to a serial run's — evaluation is pure, and workers only
-    fill disjoint slots of the result.
-
-    Evaluations go through an {!Eval_cache} keyed by structural
-    fingerprints, so duplicate candidates are evaluated once. Pass
-    [?cache] to share that cache across successive searches of an
-    iterative what-if session: re-visited candidates cost a lookup, not an
-    evaluation. The cache never changes any metric. *)
+[@@deprecated "use Search.run ?engine over a Design.t Seq.t"]
+(** The pre-engine materialized loop, kept verbatim as the oracle the
+    streaming path is property-tested against: whole-list lint pruning,
+    [Pool.map] evaluation, quadratic reference frontier. Byte-identical
+    results to {!run} without [~top_k] on the same grid. *)
 
 val pp : result Fmt.t
-(** Prints the frontier and the winner. *)
+(** Prints the counts, the frontier and the winner. *)

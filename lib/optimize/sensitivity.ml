@@ -23,7 +23,29 @@ let point_of_report value (r : Evaluate.report) =
 let t_sweep = Storage_obs.Timer.make "sensitivity.sweep"
 let obs_points = Storage_obs.Counter.make "sensitivity.points"
 
-let sweep ?(jobs = 1) ?cache build ~values scenario =
+let sweep ?engine build ~values scenario =
+  if values = [] then invalid_arg "Sensitivity.sweep: no values";
+  Storage_obs.Counter.add obs_points (List.length values);
+  Storage_obs.Timer.time t_sweep @@ fun () ->
+  match engine with
+  | None ->
+    List.map (fun v -> point_of_report v (Evaluate.run (build v) scenario)) values
+  | Some e ->
+    let cache = Eval_cache.of_engine e in
+    Storage_engine.map e
+      (fun v -> point_of_report v (Eval_cache.run cache (build v) scenario))
+      values
+
+let crossover ?engine build_a ~values scenario ~metric ~against =
+  if values = [] then invalid_arg "Sensitivity.crossover: no values";
+  let a = sweep ?engine build_a ~values scenario in
+  let b = sweep ?engine against ~values scenario in
+  List.find_opt
+    (fun (pa, pb) -> metric pa >= metric pb)
+    (List.combine a b)
+  |> Option.map (fun (pa, _) -> pa.value)
+
+let legacy_sweep ?(jobs = 1) ?cache build ~values scenario =
   if values = [] then invalid_arg "Sensitivity.sweep: no values";
   Storage_obs.Counter.add obs_points (List.length values);
   Storage_obs.Timer.time t_sweep @@ fun () ->
@@ -36,10 +58,10 @@ let sweep ?(jobs = 1) ?cache build ~values scenario =
     (fun v -> point_of_report v (eval (build v)))
     values
 
-let crossover ?jobs ?cache build_a ~values scenario ~metric ~against =
+let legacy_crossover ?jobs ?cache build_a ~values scenario ~metric ~against =
   if values = [] then invalid_arg "Sensitivity.crossover: no values";
-  let a = sweep ?jobs ?cache build_a ~values scenario in
-  let b = sweep ?jobs ?cache against ~values scenario in
+  let a = legacy_sweep ?jobs ?cache build_a ~values scenario in
+  let b = legacy_sweep ?jobs ?cache against ~values scenario in
   List.find_opt
     (fun (pa, pb) -> metric pa >= metric pb)
     (List.combine a b)

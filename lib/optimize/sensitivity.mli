@@ -19,23 +19,22 @@ type point = {
 }
 
 val sweep :
-  ?jobs:int ->
-  ?cache:Eval_cache.t ->
+  ?engine:Storage_engine.t ->
   (float -> Design.t) ->
   values:float list ->
   Scenario.t ->
   point list
 (** [sweep build ~values scenario] evaluates [build v] under [scenario]
     for each [v], in order. Raises [Invalid_argument] on an empty value
-    list. [?jobs] (default 1 = serial) evaluates points on that many
-    domains — [build] must therefore be pure, as the enumeration
-    constructors are; point order and values are unaffected. [?cache]
-    memoizes evaluations, e.g. across the two families of {!crossover} or
-    across repeated sweeps of a what-if session. *)
+    list. The [?engine] supplies domains ([build] must therefore be
+    pure, as the enumeration constructors are; point order and values
+    are unaffected) and the shared evaluation cache — e.g. across the
+    two families of {!crossover} or across repeated sweeps of a what-if
+    session. Without an engine the sweep is serial and uncached, with
+    identical points. *)
 
 val crossover :
-  ?jobs:int ->
-  ?cache:Eval_cache.t ->
+  ?engine:Storage_engine.t ->
   (float -> Design.t) ->
   values:float list ->
   Scenario.t ->
@@ -45,5 +44,27 @@ val crossover :
 (** [crossover a ~values scenario ~metric ~against] is the first swept
     value at which design family [a] stops beating family [against] on
     [metric] (smaller is better), if any. *)
+
+val legacy_sweep :
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
+  (float -> Design.t) ->
+  values:float list ->
+  Scenario.t ->
+  point list
+[@@deprecated "use Sensitivity.sweep ?engine"]
+(** The pre-engine entry point, with the knobs as per-call arguments. *)
+
+val legacy_crossover :
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
+  (float -> Design.t) ->
+  values:float list ->
+  Scenario.t ->
+  metric:(point -> float) ->
+  against:(float -> Design.t) ->
+  float option
+[@@deprecated "use Sensitivity.crossover ?engine"]
+(** The pre-engine entry point, with the knobs as per-call arguments. *)
 
 val pp_point : point Fmt.t

@@ -189,6 +189,33 @@ let map_on ?chunk t f xs =
     Array.to_list
       (Array.map (function Some y -> y | None -> assert false) results)
 
+(* Streaming map: materialize a bounded window of the input, run it as an
+   ordinary [map_on] batch, yield the results in order, refill. Peak
+   memory is O(window), whatever the length of the input sequence. An
+   exception inside a window surfaces when that window is forced — i.e.
+   after every result of earlier windows has been yielded, which keeps
+   the "first exception by input index" contract of [map_on]. *)
+let map_seq ?window t f xs =
+  let window =
+    match window with
+    | Some w when w >= 1 -> w
+    | Some _ -> invalid_arg "Pool.map_seq: window must be >= 1"
+    | None -> 32 * t.jobs
+  in
+  let rec take acc n xs =
+    if n = 0 then (List.rev acc, xs)
+    else
+      match xs () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (x, rest) -> take (x :: acc) (n - 1) rest
+  in
+  let rec windows xs () =
+    match take [] window xs with
+    | [], _ -> Seq.Nil
+    | batch, rest -> Seq.append (List.to_seq (map_on t f batch)) (windows rest) ()
+  in
+  windows xs
+
 let map ?chunk ~jobs f xs =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   match xs with

@@ -131,3 +131,21 @@ let all =
     ("asyncB mirror, 1 link", async_mirror ~links:1);
     ("asyncB mirror, 10 links", async_mirror ~links:10);
   ]
+
+(* The search hardware: one definition of the kit the CLI, the benches
+   and the capacity-planning example all enumerate over, so a grid run
+   anywhere is a grid over the same baseline case study. *)
+let search_kit ?(business = Baseline.business) () =
+  {
+    Storage_optimize.Candidate.workload = Cello.workload;
+    business;
+    primary = Baseline.disk_array;
+    tape_library = Baseline.tape_library;
+    vault = Baseline.vault;
+    remote_array = Baseline.remote_array;
+    san = Baseline.san;
+    shipment = Baseline.air_shipment;
+    wan = (fun links -> Baseline.oc3 ~links);
+  }
+
+let search_space ?(scale = 1) () = Storage_optimize.Candidate.scaled_space ~scale

@@ -32,3 +32,15 @@ val erasure_coded : fragments:int -> required:int -> links:int -> Design.t
 
 val all : (string * Design.t) list
 (** The seven Table 7 rows in order, baseline first. *)
+
+val search_kit :
+  ?business:Business.t -> unit -> Storage_optimize.Candidate.kit
+(** The baseline case study as a search kit: Cello workload, the
+    baseline devices and interconnects, [Baseline.oc3] WAN bundles.
+    [?business] swaps the business requirements (e.g. CLI-supplied
+    RTO/RPO) while keeping the hardware. *)
+
+val search_space : ?scale:int -> unit -> Storage_optimize.Candidate.space
+(** {!Storage_optimize.Candidate.scaled_space}: [~scale:1] (default) is
+    the ~100-design default grid; larger scales grow O(scale^3) for
+    streaming-search workloads. *)

@@ -629,14 +629,19 @@ let run ?(config = default_config) design scenario =
       List.rev_map (fun (t, m) -> (Duration.seconds t, m)) st.events;
   }
 
-let sweep_failure_phase ?(jobs = 1) ?(config = default_config) design scenario
+(* Each offset is an independent simulation over its own state, so the
+   sweep parallelizes trivially; results stay in offset order. *)
+let offset_run ~config design scenario offset =
+  let config = { config with warmup = Duration.add config.warmup offset } in
+  run ~config design scenario
+
+let sweep_failure_phase ?engine ?(config = default_config) design scenario
     ~offsets =
-  (* Each offset is an independent simulation over its own state, so the
-     sweep parallelizes trivially; results stay in offset order. *)
-  Storage_parallel.Pool.map ~jobs
-    (fun offset ->
-      let config =
-        { config with warmup = Duration.add config.warmup offset }
-      in
-      run ~config design scenario)
-    offsets
+  match engine with
+  | None -> List.map (offset_run ~config design scenario) offsets
+  | Some e ->
+    Storage_engine.map e (offset_run ~config design scenario) offsets
+
+let legacy_sweep_failure_phase ?(jobs = 1) ?(config = default_config) design
+    scenario ~offsets =
+  Storage_parallel.Pool.map ~jobs (offset_run ~config design scenario) offsets

@@ -67,11 +67,16 @@ val run : ?config:config -> Design.t -> Scenario.t -> measured
     and executes the recovery. *)
 
 val sweep_failure_phase :
-  ?jobs:int -> ?config:config -> Design.t -> Scenario.t ->
+  ?engine:Storage_engine.t -> ?config:config -> Design.t -> Scenario.t ->
   offsets:Duration.t list -> measured list
 (** Re-runs {!run} with the failure instant shifted by each offset beyond
     the warmup, exposing the phase-dependence of data loss (the analytical
-    model's worst case should dominate every measured sample). [?jobs]
-    (default 1 = serial) runs the independent simulations on that many
-    domains via {!Storage_parallel.Pool}; results are in offset order and
-    identical to a serial sweep's. *)
+    model's worst case should dominate every measured sample). The
+    [?engine] runs the independent simulations on its domains; results
+    are in offset order and identical to a serial (engine-less) sweep's. *)
+
+val legacy_sweep_failure_phase :
+  ?jobs:int -> ?config:config -> Design.t -> Scenario.t ->
+  offsets:Duration.t list -> measured list
+[@@deprecated "use Sim.sweep_failure_phase ?engine"]
+(** The pre-engine entry point, with parallelism as a per-call [?jobs]. *)

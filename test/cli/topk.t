@@ -1,0 +1,43 @@
+Bounded top-k search. --top-k K streams the grid through the engine and
+retains only the K cheapest feasible designs (plus the frontier); the
+header still reports the untruncated totals, and the ranking is exactly
+the head of the full cost-sorted feasible list:
+
+  $ ssdep optimize --top-k 3 | head -1
+  76 candidates, 76 feasible, 9 on the Pareto frontier
+  $ ssdep optimize --top-k 3 | sed 's/ *$//' | tail -4
+  top 3 feasible (of 76):
+     1. asyncB mirror x2                 out $1.57M    worst RT 10.5 hr   worst DL 2.0 min    total $2.09M
+     2. asyncB mirror x1                 out $1.13M    worst RT 20.9 hr   worst DL 2.0 min    total $2.18M
+     3. asyncB mirror x4                 out $2.44M    worst RT 9.0 hr    worst DL 2.0 min    total $2.89M
+
+Truncation never changes what was searched: the engine still evaluates
+every candidate against both scenarios, and none of the (all-valid)
+generated candidates is pruned by the lint pre-filter:
+
+  $ ssdep optimize --top-k 3 --stats | grep -E 'lint.pruned|search.evaluations' | tr -s ' '
+  lint.pruned counter 0
+  search.evaluations counter 152
+
+A widened grid behaves the same way, just bigger:
+
+  $ ssdep optimize --top-k 2 --grid-scale 2 --max-candidates 2000 | sed 's/ *$//' | tail -3
+  top 2 feasible (of 1927):
+     1. asyncB mirror x2                 out $1.57M    worst RT 10.5 hr   worst DL 2.0 min    total $2.09M
+     2. asyncB mirror x1                 out $1.13M    worst RT 20.9 hr   worst DL 2.0 min    total $2.18M
+
+--top-k must be positive:
+
+  $ ssdep optimize --top-k 0
+  ssdep: option '--top-k': invalid count "0", expected a positive integer
+  Usage: ssdep optimize [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+The candidate budget refuses over-large grids before any evaluation, so a
+fat-fingered --grid-scale fails in milliseconds rather than running for
+hours:
+
+  $ ssdep optimize --grid-scale 2 --max-candidates 100
+  ssdep: grid has 1927 candidate designs, over the --max-candidates budget of 100; raise the budget or lower --grid-scale
+  [124]

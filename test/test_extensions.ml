@@ -145,12 +145,13 @@ let test_risk_monte_carlo_large_lambda_regression () =
 let test_risk_monte_carlo_jobs_invariant () =
   (* Each sample owns a generator seeded off the master stream, so the
      distribution is bit-identical however the sampling is spread across
-     domains. *)
+     the engine's domains. *)
   let dists =
     List.map
       (fun jobs ->
-        Risk.monte_carlo ~samples:1000 ~jobs Baseline.design weighted
-          ~horizon_years:10.)
+        Storage_engine.with_engine ~jobs (fun engine ->
+            Risk.monte_carlo ~engine ~samples:1000 Baseline.design weighted
+              ~horizon_years:10.))
       [ 1; 2; 4 ]
   in
   match dists with

@@ -336,8 +336,9 @@ let kit =
   }
 
 let pool =
-  Candidate.enumerate kit
-    {
+  List.of_seq
+  @@ Candidate.enumerate kit
+       {
       Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
       pit_accumulations = [ Duration.hours 12. ];
       pit_retentions = [ 2; 4 ];
@@ -400,18 +401,22 @@ let test_search_prunes () =
   let scenarios = [ Baseline.scenario_array ] in
   Storage_obs.enable ();
   Storage_obs.reset ();
-  let pruned = Search.run seeded scenarios in
+  let pruned = Search.run (List.to_seq seeded) scenarios in
   Storage_obs.disable ();
   Alcotest.(check int) "lint.pruned counted" 1
     (Storage_obs.Counter.value (Storage_obs.Counter.make "lint.pruned"));
-  let hand_filtered = Search.run ~lint:false good scenarios in
+  let no_lint candidates =
+    Storage_engine.with_engine ~lint:false (fun engine ->
+        Search.run ~engine (List.to_seq candidates) scenarios)
+  in
+  let hand_filtered = no_lint good in
   Alcotest.(check (list (triple string (float 1e-9) bool)))
     "results identical to a hand-filtered run"
     (List.map summary_key hand_filtered.Search.evaluated)
     (List.map summary_key pruned.Search.evaluated);
   (* Without the filter the invalid candidate is scored (and comes back
      infeasible) instead of being dropped. *)
-  let unfiltered = Search.run ~lint:false seeded scenarios in
+  let unfiltered = no_lint seeded in
   Alcotest.(check int) "unfiltered evaluates all" 3
     (List.length unfiltered.Search.evaluated);
   let bad =
@@ -439,7 +444,10 @@ let test_portfolio_prunes () =
   Alcotest.(check int) "overcommitted members skipped" 0 (List.length skipped);
   Alcotest.(check int) "skips counted" 2
     (Storage_obs.Counter.value (Storage_obs.Counter.make "lint.pruned"));
-  let forced = Portfolio.evaluate ~lint:false p Baseline.scenario_object in
+  let forced =
+    Storage_engine.with_engine ~lint:false (fun engine ->
+        Portfolio.evaluate ~engine p Baseline.scenario_object)
+  in
   Alcotest.(check int) "lint:false evaluates everyone" 2 (List.length forced);
   List.iter
     (fun (_, r) ->

@@ -8,4 +8,5 @@ let () =
    @ Test_presets.suite @ Test_spec.suite @ Test_coverage.suite
    @ Test_lint.suite
    @ Test_random_designs.suite
-   @ Test_parallel.suite @ Test_report.suite @ Test_obs.suite)
+   @ Test_parallel.suite @ Test_engine.suite @ Test_report.suite
+   @ Test_obs.suite)

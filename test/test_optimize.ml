@@ -116,11 +116,27 @@ let small_space =
 let test_enumerate_counts () =
   let designs = Candidate.enumerate (kit (business ())) small_space in
   (* 2 PiT kinds x 1 acc x 1 ret x 2 backup x 1 vault + 2 mirrors = 6. *)
-  Alcotest.(check int) "grid size" 6 (List.length designs)
+  Alcotest.(check int) "grid size" 6 (Seq.length designs)
+
+let test_enumerate_lazy_and_persistent () =
+  (* Forcing one element must not force the rest, and a re-traversal must
+     rebuild the same designs (structurally, hence same fingerprints). *)
+  let designs = Candidate.enumerate (kit (business ())) small_space in
+  (match Seq.uncons designs with
+  | None -> Alcotest.fail "expected a non-empty grid"
+  | Some (first, _) ->
+    Alcotest.(check bool) "head is valid" true
+      (Design.validate first = Ok ()));
+  let once = List.of_seq designs in
+  let again = List.of_seq designs in
+  Alcotest.(check (list string))
+    "re-traversal rebuilds the same grid"
+    (List.map Design.fingerprint once)
+    (List.map Design.fingerprint again)
 
 let test_enumerate_all_valid () =
   let designs =
-    Candidate.enumerate (kit (business ())) Candidate.default_space
+    List.of_seq (Candidate.enumerate (kit (business ())) Candidate.default_space)
   in
   Alcotest.(check bool) "non-empty" true (designs <> []);
   List.iter
@@ -133,7 +149,9 @@ let test_enumerate_all_valid () =
     designs
 
 let test_enumerate_names_unique () =
-  let designs = Candidate.enumerate (kit (business ())) Candidate.default_space in
+  let designs =
+    List.of_seq (Candidate.enumerate (kit (business ())) Candidate.default_space)
+  in
   let names = List.map (fun d -> d.Design.name) designs in
   Alcotest.(check int) "unique names"
     (List.length names)
@@ -173,9 +191,44 @@ let test_search_respects_rpo () =
   Alcotest.(check bool) "some feasible" true (result.Search.feasible <> [])
 
 let test_search_empty_inputs () =
-  check_raises_invalid "no candidates" (fun () -> Search.run [] scenarios);
+  check_raises_invalid "no candidates" (fun () -> Search.run Seq.empty scenarios);
   check_raises_invalid "no scenarios" (fun () ->
-      Search.run [ Baseline.design ] [])
+      Search.run (List.to_seq [ Baseline.design ]) []);
+  check_raises_invalid "top_k < 1" (fun () ->
+      Search.run ~top_k:0 (List.to_seq [ Baseline.design ]) scenarios)
+
+let test_search_top_k_truncates () =
+  let candidates () = Candidate.enumerate (kit (business ())) small_space in
+  let full = Search.run (candidates ()) scenarios in
+  let truncated = Search.run ~top_k:2 (candidates ()) scenarios in
+  Alcotest.(check int) "evaluated not retained" 0
+    (List.length truncated.Search.evaluated);
+  Alcotest.(check int) "considered matches full run" full.Search.considered
+    truncated.Search.considered;
+  Alcotest.(check int) "feasible_count matches full run"
+    full.Search.feasible_count truncated.Search.feasible_count;
+  (* The truncated feasible list is exactly the head of the full sorted
+     one, and the frontier/best are unaffected by truncation. *)
+  let names r =
+    List.map (fun s -> s.Objective.design.Design.name) r.Search.feasible
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  Alcotest.(check (list string))
+    "top-k = head of full feasible" (take 2 (names full)) (names truncated);
+  Alcotest.(check (list string))
+    "same frontier"
+    (List.map (fun s -> s.Objective.design.Design.name) full.Search.frontier)
+    (List.map
+       (fun s -> s.Objective.design.Design.name)
+       truncated.Search.frontier);
+  Alcotest.(check (option string))
+    "same best"
+    (Option.map (fun s -> s.Objective.design.Design.name) full.Search.best)
+    (Option.map (fun s -> s.Objective.design.Design.name) truncated.Search.best)
 
 let test_search_feasible_sorted () =
   let candidates = Candidate.enumerate (kit (business ())) small_space in
@@ -187,6 +240,45 @@ let test_search_feasible_sorted () =
   in
   Alcotest.(check bool) "ascending" true
     (costs = List.sort Float.compare costs)
+
+(* Synthetic summaries over a tiny value lattice: small ranges force
+   duplicates and per-axis ties, including [Entire_object] ties, which is
+   exactly where an incremental frontier could diverge from the quadratic
+   specification if eviction were too eager. *)
+let synthetic_summary (cost, rt, loss_code) =
+  let worst_loss =
+    if loss_code >= 4 then Data_loss.Entire_object
+    else Data_loss.Updates (Duration.hours (float_of_int loss_code))
+  in
+  {
+    Objective.design = Baseline.design;
+    reports = [];
+    outlays = Money.usd (float_of_int cost);
+    worst_recovery_time = Duration.hours (float_of_int rt);
+    worst_loss;
+    worst_penalties = Money.usd 0.;
+    worst_total_cost = Money.usd (float_of_int cost);
+    feasible = true;
+  }
+
+let prop_incremental_frontier_matches_reference =
+  QCheck.Test.make ~name:"incremental frontier = quadratic reference"
+    ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 30)
+        (triple (int_range 0 4) (int_range 0 4) (int_range 0 5)))
+    (fun triples ->
+      let summaries = List.map synthetic_summary triples in
+      let incremental = Pareto.frontier summaries in
+      let reference = Pareto.frontier_reference summaries in
+      let online =
+        Pareto.contents (List.fold_left Pareto.insert Pareto.empty summaries)
+      in
+      List.length incremental = List.length reference
+      && List.for_all2 ( == ) incremental reference
+      && List.length online = List.length reference
+      && List.for_all2 ( == ) online reference)
 
 let prop_frontier_subset =
   QCheck.Test.make ~name:"frontier is a subset of the input" ~count:10
@@ -216,10 +308,13 @@ let suite =
           test_pareto_non_domination_property;
         Alcotest.test_case "domination asymmetric" `Quick test_dominates_asymmetric;
         qcheck prop_frontier_subset;
+        qcheck prop_incremental_frontier_matches_reference;
       ] );
     ( "optimize.candidate",
       [
         Alcotest.test_case "grid size" `Quick test_enumerate_counts;
+        Alcotest.test_case "lazy and persistent" `Quick
+          test_enumerate_lazy_and_persistent;
         Alcotest.test_case "all candidates valid" `Quick test_enumerate_all_valid;
         Alcotest.test_case "unique names" `Quick test_enumerate_names_unique;
       ] );
@@ -229,6 +324,7 @@ let suite =
           test_search_best_is_cheapest_feasible;
         Alcotest.test_case "RPO constraint" `Quick test_search_respects_rpo;
         Alcotest.test_case "empty inputs" `Quick test_search_empty_inputs;
+        Alcotest.test_case "top-k truncation" `Quick test_search_top_k_truncates;
         Alcotest.test_case "feasible sorted by cost" `Quick
           test_search_feasible_sorted;
       ] );

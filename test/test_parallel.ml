@@ -8,6 +8,7 @@ open Storage_model
 open Storage_optimize
 open Storage_presets
 open Storage_parallel
+module Engine = Storage_engine
 
 let pool_designs = Test_random_designs.pool
 let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ]
@@ -199,25 +200,37 @@ let seeded_candidates =
   List.init 200 (fun _ -> List.nth pool_designs (Random.State.int st n))
 
 let test_search_parallel_equals_serial () =
-  let serial = Search.run ~jobs:1 seeded_candidates scenarios in
-  let par = Search.run ~jobs:4 seeded_candidates scenarios in
+  let run jobs =
+    Engine.with_engine ~jobs (fun engine ->
+        Search.run ~engine (List.to_seq seeded_candidates) scenarios)
+  in
+  let serial = run 1 in
+  let par = run 4 in
   check_same_bytes "evaluated" serial.Search.evaluated par.Search.evaluated;
   check_same_bytes "feasible" serial.Search.feasible par.Search.feasible;
   check_same_bytes "frontier" serial.Search.frontier par.Search.frontier;
   check_same_bytes "best" serial.Search.best par.Search.best
 
 let test_search_shared_cache_equals_fresh () =
-  (* A session cache carried across searches changes nothing but time. *)
-  let cache = Eval_cache.create () in
-  let first = Search.run ~jobs:2 ~cache seeded_candidates scenarios in
-  let second = Search.run ~jobs:2 ~cache seeded_candidates scenarios in
-  let fresh = Search.run ~jobs:1 seeded_candidates scenarios in
-  check_same_bytes "warm cache, same result" first.Search.evaluated
-    second.Search.evaluated;
-  check_same_bytes "cached vs uncached" fresh.Search.evaluated
-    first.Search.evaluated;
-  Alcotest.(check bool) "second pass all hits" true (Eval_cache.misses cache > 0
-  && Eval_cache.hits cache > Eval_cache.misses cache)
+  (* The engine's session cache carried across searches changes nothing
+     but time. *)
+  Engine.with_engine ~jobs:2 (fun engine ->
+      let cache = Eval_cache.of_engine engine in
+      let first = Search.run ~engine (List.to_seq seeded_candidates) scenarios in
+      let second =
+        Search.run ~engine (List.to_seq seeded_candidates) scenarios
+      in
+      let fresh =
+        Engine.with_engine ~jobs:1 (fun e ->
+            Search.run ~engine:e (List.to_seq seeded_candidates) scenarios)
+      in
+      check_same_bytes "warm cache, same result" first.Search.evaluated
+        second.Search.evaluated;
+      check_same_bytes "cached vs uncached" fresh.Search.evaluated
+        first.Search.evaluated;
+      Alcotest.(check bool) "second pass all hits" true
+        (Eval_cache.misses cache > 0
+        && Eval_cache.hits cache > Eval_cache.misses cache))
 
 let test_cache_reports_identical () =
   let cache = Eval_cache.create () in
@@ -238,8 +251,14 @@ let test_sensitivity_parallel_equals_serial () =
   let n = List.length pool_designs in
   let build v = List.nth pool_designs (int_of_float v mod n) in
   let values = List.init 24 float_of_int in
-  let serial = Sensitivity.sweep ~jobs:1 build ~values Baseline.scenario_array in
-  let par = Sensitivity.sweep ~jobs:4 build ~values Baseline.scenario_array in
+  let serial =
+    Engine.with_engine ~jobs:1 (fun engine ->
+        Sensitivity.sweep ~engine build ~values Baseline.scenario_array)
+  in
+  let par =
+    Engine.with_engine ~jobs:4 (fun engine ->
+        Sensitivity.sweep ~engine build ~values Baseline.scenario_array)
+  in
   check_same_bytes "sweep points" serial par
 
 let test_portfolio_parallel_equals_serial () =
@@ -251,8 +270,14 @@ let test_portfolio_parallel_equals_serial () =
   let a = rename "tenant-a" (List.nth pool_designs 0) in
   let b = rename "tenant-b" (List.nth pool_designs 1) in
   let p = Portfolio.make_exn [ a; b ] in
-  let serial = Portfolio.evaluate ~jobs:1 p Baseline.scenario_array in
-  let par = Portfolio.evaluate ~jobs:4 p Baseline.scenario_array in
+  let serial =
+    Engine.with_engine ~jobs:1 (fun engine ->
+        Portfolio.evaluate ~engine p Baseline.scenario_array)
+  in
+  let par =
+    Engine.with_engine ~jobs:4 (fun engine ->
+        Portfolio.evaluate ~engine p Baseline.scenario_array)
+  in
   check_same_bytes "portfolio reports" serial par
 
 let test_sim_sweep_parallel_equals_serial () =
@@ -266,12 +291,14 @@ let test_sim_sweep_parallel_equals_serial () =
       Duration.hours 26. ]
   in
   let serial =
-    Storage_sim.Sim.sweep_failure_phase ~jobs:1 ~config d
-      Baseline.scenario_array ~offsets
+    Engine.with_engine ~jobs:1 (fun engine ->
+        Storage_sim.Sim.sweep_failure_phase ~engine ~config d
+          Baseline.scenario_array ~offsets)
   in
   let par =
-    Storage_sim.Sim.sweep_failure_phase ~jobs:4 ~config d
-      Baseline.scenario_array ~offsets
+    Engine.with_engine ~jobs:4 (fun engine ->
+        Storage_sim.Sim.sweep_failure_phase ~engine ~config d
+          Baseline.scenario_array ~offsets)
   in
   check_same_bytes "failure-phase sweep" serial par
 

@@ -40,11 +40,11 @@ let pool_spec =
     mirror_links = [ 1; 4 ];
   }
 
-let pool = Candidate.enumerate kit pool_spec
+let pool = List.of_seq (Candidate.enumerate kit pool_spec)
 
 (* A structurally identical but physically fresh enumeration — used by the
    fingerprint tests to show keys depend only on structure. *)
-let pool_again () = Candidate.enumerate kit pool_spec
+let pool_again () = List.of_seq (Candidate.enumerate kit pool_spec)
 
 let arb_design =
   QCheck.map (fun i -> List.nth pool (i mod List.length pool))

@@ -17,7 +17,13 @@
    - Libraries never terminate the process: [exit] belongs to bin/, not
      lib/. A library that exits steals error handling from its caller.
 
-   Usage: check_sources DIR — scans every .ml under DIR, prints
+   - One execution context: lib/engine owns the [?jobs]/[?cache]/[?lint]
+     configuration. No other interface may declare those optional
+     arguments — entry points take [?engine] instead, so the triple can
+     never creep back one signature at a time. Deprecated compatibility
+     shims (their val block carries [@@deprecated]) are exempt.
+
+   Usage: check_sources DIR — scans every .ml and .mli under DIR, prints
    file:line: diagnostics, exits 1 on any violation. *)
 
 let violations = ref 0
@@ -68,12 +74,59 @@ let check_file file =
         done
       with End_of_file -> ())
 
+(* The engine-context invariant over interfaces. An .mli is split into
+   val blocks (a block runs from a [val ] line to the next one); a block
+   may mention ?jobs/?cache/?lint only if it is a deprecated shim. *)
+let engine_args_re = Str.regexp "\\?jobs\\|\\?cache\\|\\?lint"
+let val_start_re = Str.regexp "^val "
+let engine_args_msg =
+  "?jobs/?cache/?lint in a public interface: the execution context \
+   belongs to lib/engine; take ?engine:Storage_engine.t instead (or mark \
+   the compatibility shim [@@deprecated])"
+
+let in_engine_lib file =
+  let dir = Filename.basename (Filename.dirname file) in
+  String.equal dir "engine"
+
+let matches re line =
+  try
+    ignore (Str.search_forward re line 0);
+    true
+  with Not_found -> false
+
+let check_mli_file file =
+  if not (in_engine_lib file) then
+    In_channel.with_open_text file (fun ic ->
+        let pending = ref [] (* matching lines in the current val block *)
+        and block_deprecated = ref false
+        and lineno = ref 0 in
+        let flush () =
+          if not !block_deprecated then
+            List.iter
+              (fun line -> report ~file ~line engine_args_msg)
+              (List.rev !pending);
+          pending := [];
+          block_deprecated := false
+        in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             if matches val_start_re line then flush ();
+             if matches engine_args_re line then pending := !lineno :: !pending;
+             if matches (Str.regexp_string "[@@deprecated") line then
+               block_deprecated := true
+           done
+         with End_of_file -> ());
+        flush ())
+
 let rec walk path =
   if Sys.is_directory path then
     Array.iter
       (fun entry -> walk (Filename.concat path entry))
       (Sys.readdir path)
   else if Filename.check_suffix path ".ml" then check_file path
+  else if Filename.check_suffix path ".mli" then check_mli_file path
 
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
