@@ -932,6 +932,150 @@ let portfolio_cmd =
   in
   Cmd.v info Term.(term_result' term)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let module K = Storage_testkit in
+  let seed_arg =
+    let doc =
+      "Session seed (decimal or 0x-hex). Per-case seeds derive from it \
+       through one splitmix64 stream, so the same seed and budget \
+       reproduce the same cases, findings and shrunk counterexamples."
+    in
+    let seed_conv =
+      let parse s =
+        match Int64.of_string_opt s with
+        | Some n -> Ok n
+        | None ->
+          Error (`Msg (Printf.sprintf "invalid seed %S, expected an integer" s))
+      in
+      Arg.conv (parse, fun ppf n -> Fmt.pf ppf "0x%Lx" n)
+    in
+    Arg.(value & opt seed_conv 2004L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Generate $(docv) fresh cases after corpus replay (0 replays only)."
+    in
+    Arg.(value & opt int 64 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Failure-corpus directory: its $(b,.ssdep) entries are replayed \
+       before any generation, and new shrunk counterexamples are written \
+       back to it."
+    in
+    Arg.(value & opt string "test/corpus" & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-judge a single corpus file against its recorded oracle and exit \
+       (1 if it still fails, 0 if fixed); no generation."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Restrict the run to oracle $(docv) (repeatable); see \
+       $(b,--list-oracles)."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let list_arg =
+    let doc = "List the registered oracles and exit." in
+    Arg.(value & flag & info [ "list-oracles" ] ~doc)
+  in
+  let print_finding (f : K.Fuzz.finding) =
+    let e = f.K.Fuzz.entry in
+    Fmt.pr "FAIL %s: %s@." e.K.Corpus.oracle e.K.Corpus.message;
+    Fmt.pr "  case %d, seed 0x%Lx%s@." e.K.Corpus.case_index e.K.Corpus.seed
+      (if f.K.Fuzz.replayed then " (corpus replay)"
+       else Printf.sprintf ", shrunk %d steps" e.K.Corpus.shrink_steps);
+    Fmt.pr "  design: %s@." e.K.Corpus.design.Design.name;
+    match f.K.Fuzz.file with
+    | Some path -> Fmt.pr "  corpus: %s@." path
+    | None -> ()
+  in
+  let exit_with code =
+    Format.pp_print_flush Format.std_formatter ();
+    Stdlib.exit code
+  in
+  let usage msg =
+    (* Configuration problems claim the documented exit code 2 directly,
+       like `ssdep lint` does for its finding codes. *)
+    Fmt.pr "ssdep fuzz: %s@." msg;
+    exit_with 2
+  in
+  let run seed budget corpus replay oracle_names list_oracles jobs stats
+      stats_json =
+    if list_oracles then begin
+      List.iter
+        (fun (o : K.Oracle.t) ->
+          Fmt.pr "%-24s %s@." o.K.Oracle.name o.K.Oracle.doc)
+        K.Oracle.all;
+      Ok ()
+    end
+    else begin
+      if budget < 0 then usage "budget must be non-negative";
+      let oracles =
+        match oracle_names with
+        | [] -> K.Oracle.defaults
+        | names ->
+          List.map
+            (fun n ->
+              match K.Oracle.find n with
+              | Some o -> o
+              | None ->
+                usage
+                  (Printf.sprintf "unknown oracle %S (try --list-oracles)" n))
+            names
+      in
+      with_engine ~jobs ~stats ~stats_json @@ fun engine ->
+      match replay with
+      | Some path -> (
+        match K.Fuzz.replay ~engine path with
+        | Error msg -> usage msg
+        | Ok None ->
+          Fmt.pr "%s: no longer failing@." path;
+          Ok ()
+        | Ok (Some f) ->
+          print_finding f;
+          exit_with 1)
+      | None -> (
+        match
+          K.Fuzz.run ~oracles ~corpus_dir:corpus ~engine ~seed ~budget ()
+        with
+        | Error msg -> usage msg
+        | Ok o ->
+          Fmt.pr "fuzz: seed 0x%Lx, budget %d, %d oracle%s@." seed budget
+            (List.length oracles)
+            (if List.length oracles = 1 then "" else "s");
+          if o.K.Fuzz.replayed > 0 then
+            Fmt.pr "corpus: replayed %d, fixed %d@." o.K.Fuzz.replayed
+              o.K.Fuzz.fixed;
+          Fmt.pr "findings: %d@." (List.length o.K.Fuzz.findings);
+          List.iter print_finding o.K.Fuzz.findings;
+          if o.K.Fuzz.findings <> [] then exit_with 1 else Ok ())
+    end
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg $ oracle_arg
+      $ list_arg $ jobs_arg $ stats_arg $ stats_json_arg)
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Generative conformance testing: seeded random designs and \
+         workloads judged by differential and metamorphic oracles \
+         (analytic vs simulation, streaming vs materialized, parallel \
+         and cache invariance, monotonicity laws), with counterexamples \
+         shrunk to minimal form and persisted to a replayable corpus. \
+         Exits 1 when a counterexample is found, 2 on configuration \
+         errors, 0 when clean."
+  in
+  Cmd.v info Term.(term_result' term)
+
 let main_cmd =
   let doc = "storage system dependability evaluation (DSN 2004 framework)" in
   let info = Cmd.info "ssdep" ~version:"1.0.0" ~doc in
@@ -939,7 +1083,7 @@ let main_cmd =
     [
       tables_cmd; evaluate_cmd; check_cmd; lint_cmd; whatif_cmd; simulate_cmd;
       optimize_cmd; characterize_cmd; risk_cmd; degraded_cmd; report_cmd;
-      portfolio_cmd; explain_cmd;
+      portfolio_cmd; explain_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

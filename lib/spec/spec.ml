@@ -491,6 +491,270 @@ let design_of_string ?(validate = true) text =
       | Error es -> err "design invalid: %s" (String.concat "; " es)
   end
 
+(* --- serialization --- *)
+
+(* A float literal [Values.number_and_unit] can read back to the same bits.
+   The grammar has no exponent syntax, so scientific notation must be
+   expanded into plain decimal digits. *)
+let lit v =
+  if not (Float.is_finite v) then invalid_arg "Spec.lit: non-finite value"
+  else if Float.is_integer v then Printf.sprintf "%.0f" v
+  else begin
+    let round_trips s = float_of_string s = v in
+    let shortest =
+      let rec try_prec p =
+        if p > 17 then Printf.sprintf "%.17g" v
+        else
+          let s = Printf.sprintf "%.*g" p v in
+          if round_trips s then s else try_prec (p + 1)
+      in
+      try_prec 15
+    in
+    if String.contains shortest 'e' || String.contains shortest 'E' then begin
+      (* Only sub-unity magnitudes reach here (integers were handled
+         above); 25 fractional digits carry >= 17 significant ones for
+         anything down to 1e-8, far below any physical quantity in a
+         design. *)
+      let s = Printf.sprintf "%.25f" v in
+      if round_trips s then s else shortest (* give up; caller will error *)
+    end
+    else shortest
+  end
+
+let duration_str d = lit (Duration.to_seconds d) ^ "s"
+let size_str s = lit (Size.to_bytes s) ^ " B"
+let rate_str r = lit (Rate.to_bytes_per_sec r) ^ " B/s"
+let money_str m = "$" ^ lit (Money.to_usd m)
+let penalty_str r = "$" ^ lit (Money_rate.to_usd_per_sec r) ^ "/s"
+
+let location_str (l : Location.t) =
+  Printf.sprintf "%s/%s/%s" l.Location.region l.Location.site
+    l.Location.building
+
+let spare_str = function
+  | Spare.No_spare -> "none"
+  | Spare.Dedicated { provisioning_time } ->
+    "dedicated " ^ duration_str provisioning_time
+  | Spare.Shared { provisioning_time; discount } ->
+    Printf.sprintf "shared %s %s" (duration_str provisioning_time)
+      (lit discount)
+
+let raid_str = function
+  | Raid.Raid0 -> "raid0"
+  | Raid.Raid1 -> "raid1"
+  | Raid.Raid10 -> "raid10"
+  | Raid.Raid5 { stripe_width } -> Printf.sprintf "raid5(%d)" stripe_width
+
+let rec scope_str = function
+  | Location.Data_object -> Ok "object"
+  | Location.Device n -> Ok ("device " ^ n)
+  | Location.Building n -> Ok ("building " ^ n)
+  | Location.Site n -> Ok ("site " ^ n)
+  | Location.Region n -> Ok ("region " ^ n)
+  | Location.Multiple scopes ->
+    let* parts = traverse scope_str scopes in
+    Ok (String.concat "+" parts)
+
+let emit_schedule buf (s : Schedule.t) =
+  if s.Schedule.copy_representation <> Schedule.Full then
+    err "cannot serialize a non-full copy representation"
+  else begin
+    let kv k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+    kv "acc" (duration_str s.Schedule.full.Schedule.accumulation);
+    if not (Duration.is_zero s.Schedule.full.Schedule.propagation) then
+      kv "prop" (duration_str s.Schedule.full.Schedule.propagation);
+    if not (Duration.is_zero s.Schedule.full.Schedule.hold) then
+      kv "hold" (duration_str s.Schedule.full.Schedule.hold);
+    kv "retention" (string_of_int s.Schedule.retention_count);
+    (match s.Schedule.secondary with
+    | None -> ()
+    | Some (representation, w) ->
+      kv "incremental"
+        (Printf.sprintf "%s acc=%s prop=%s hold=%s count=%d"
+           (match representation with
+           | Schedule.Cumulative -> "cumulative"
+           | Schedule.Differential -> "differential"
+           | Schedule.Full -> assert false (* rejected by Schedule.make *))
+           (duration_str w.Schedule.accumulation)
+           (duration_str w.Schedule.propagation)
+           (duration_str w.Schedule.hold)
+           s.Schedule.cycle_count));
+    Ok ()
+  end
+
+let emit_level buf ~index (level : Hierarchy.level) =
+  let kv k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+  Buffer.add_string buf (Printf.sprintf "[level %d]\n" index);
+  let technique_name, schedule, extra =
+    match level.Hierarchy.technique with
+    | Technique.Primary_copy { raid } ->
+      ("primary", None, [ ("raid", raid_str raid) ])
+    | Technique.Split_mirror s -> ("split_mirror", Some s, [])
+    | Technique.Virtual_snapshot s -> ("snapshot", Some s, [])
+    | Technique.Backup s -> ("backup", Some s, [])
+    | Technique.Vaulting s -> ("vaulting", Some s, [])
+    | Technique.Remote_mirror { mode; schedule } ->
+      ( (match mode with
+        | Technique.Synchronous -> "sync_mirror"
+        | Technique.Asynchronous -> "async_mirror"
+        | Technique.Asynchronous_batch -> "async_batch_mirror"),
+        Some schedule,
+        [] )
+    | Technique.Erasure_coded { fragments; required; schedule } ->
+      ( "erasure_coded",
+        Some schedule,
+        [
+          ("fragments", string_of_int fragments);
+          ("required", string_of_int required);
+        ] )
+  in
+  kv "technique" technique_name;
+  kv "device" level.Hierarchy.device.Device.name;
+  (match level.Hierarchy.link with
+  | None -> ()
+  | Some l -> kv "link" l.Interconnect.name);
+  List.iter (fun (k, v) -> kv k v) extra;
+  let* () =
+    match schedule with None -> Ok () | Some s -> emit_schedule buf s
+  in
+  Buffer.add_char buf '\n';
+  Ok ()
+
+let emit_device buf (d : Device.t) =
+  let kv k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+  Buffer.add_string buf (Printf.sprintf "[device %s]\n" d.Device.name);
+  kv "location" (location_str d.Device.location);
+  kv "capacity_slots"
+    (Printf.sprintf "%d x %s" d.Device.max_capacity_slots
+       (size_str d.Device.slot_capacity));
+  if d.Device.max_bandwidth_slots > 0 then
+    kv "bandwidth_slots"
+      (Printf.sprintf "%d x %s" d.Device.max_bandwidth_slots
+         (rate_str d.Device.slot_bandwidth));
+  if not (Rate.is_zero d.Device.enclosure_bandwidth) then
+    kv "enclosure_bandwidth" (rate_str d.Device.enclosure_bandwidth);
+  if not (Duration.is_zero d.Device.access_delay) then
+    kv "access_delay" (duration_str d.Device.access_delay);
+  let c = d.Device.cost in
+  if not (Money.is_zero c.Cost_model.fixed) then
+    kv "cost_fixed" (money_str c.Cost_model.fixed);
+  if c.Cost_model.per_gib <> 0. then kv "cost_per_gib" (lit c.Cost_model.per_gib);
+  if c.Cost_model.per_mib_per_sec <> 0. then
+    kv "cost_per_mibps" (lit c.Cost_model.per_mib_per_sec);
+  if c.Cost_model.per_shipment <> 0. then
+    kv "cost_per_shipment" (lit c.Cost_model.per_shipment);
+  if d.Device.spare <> Spare.No_spare then kv "spare" (spare_str d.Device.spare);
+  if d.Device.remote_spare <> Spare.No_spare then
+    kv "remote_spare" (spare_str d.Device.remote_spare);
+  Buffer.add_char buf '\n'
+
+let emit_link buf (l : Interconnect.t) =
+  let kv k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+  Buffer.add_string buf (Printf.sprintf "[link %s]\n" l.Interconnect.name);
+  (match l.Interconnect.transport with
+  | Interconnect.Shipment -> kv "type" "shipment"
+  | Interconnect.Network { link_bandwidth; links } ->
+    kv "type" "network";
+    kv "bandwidth" (Printf.sprintf "%d x %s" links (rate_str link_bandwidth)));
+  if not (Duration.is_zero l.Interconnect.delay) then
+    kv "delay" (duration_str l.Interconnect.delay);
+  let c = l.Interconnect.cost in
+  if c.Cost_model.per_mib_per_sec <> 0. then
+    kv "cost_per_mibps" (lit c.Cost_model.per_mib_per_sec);
+  if c.Cost_model.per_shipment <> 0. then
+    kv "cost_per_shipment" (lit c.Cost_model.per_shipment);
+  Buffer.add_char buf '\n'
+
+let emit_scenario buf (name, (sc : Scenario.t)) =
+  let kv k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+  Buffer.add_string buf (Printf.sprintf "[scenario %s]\n" name);
+  let* scope = scope_str sc.Scenario.scope in
+  kv "scope" scope;
+  if not (Duration.is_zero sc.Scenario.target_age) then
+    kv "target_age" (duration_str sc.Scenario.target_age);
+  (match sc.Scenario.object_size with
+  | None -> ()
+  | Some s -> kv "object_size" (size_str s));
+  Buffer.add_char buf '\n';
+  Ok ()
+
+let design_to_string ?(scenarios = []) (d : Design.t) =
+  let buf = Buffer.create 1024 in
+  let kv k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+  let* () =
+    if d.Design.background = [] then Ok ()
+    else err "cannot serialize a design with background (portfolio) demands"
+  in
+  (* The parser names the design after its workload, so the workload's own
+     name is replaced by the design's: parse (print d) preserves
+     [Design.name], which is the identity the corpus and the CLI report. *)
+  let w = d.Design.workload in
+  Buffer.add_string buf "[workload]\n";
+  kv "name" d.Design.name;
+  kv "data_capacity" (size_str w.Workload.data_capacity);
+  kv "avg_access_rate" (rate_str w.Workload.avg_access_rate);
+  kv "avg_update_rate" (rate_str w.Workload.avg_update_rate);
+  kv "burst_multiplier" (lit w.Workload.burst_multiplier);
+  kv "batch"
+    (String.concat ", "
+       (List.map
+          (fun (win, rate) ->
+            Printf.sprintf "%s: %s" (duration_str win) (rate_str rate))
+          (Batch_curve.samples w.Workload.batch_curve)));
+  Buffer.add_char buf '\n';
+  let levels = Hierarchy.levels d.Design.hierarchy in
+  let distinct_by_name name_of xs =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        match List.find_opt (fun y -> name_of y = name_of x) acc with
+        | None -> Ok (acc @ [ x ])
+        | Some y ->
+          if y = x then Ok acc
+          else err "two distinct definitions share the name %S" (name_of x))
+      (Ok []) xs
+  in
+  let* devices =
+    distinct_by_name
+      (fun (dev : Device.t) -> dev.Device.name)
+      (List.map (fun (l : Hierarchy.level) -> l.Hierarchy.device) levels)
+  in
+  let* links =
+    distinct_by_name
+      (fun (l : Interconnect.t) -> l.Interconnect.name)
+      (List.filter_map (fun (l : Hierarchy.level) -> l.Hierarchy.link) levels)
+  in
+  List.iter (emit_device buf) devices;
+  List.iter (emit_link buf) links;
+  let* () =
+    List.fold_left
+      (fun acc (index, level) ->
+        let* () = acc in
+        emit_level buf ~index level)
+      (Ok ())
+      (List.mapi (fun i l -> (i, l)) levels)
+  in
+  let b = d.Design.business in
+  Buffer.add_string buf "[business]\n";
+  kv "outage_penalty" (penalty_str b.Business.outage_penalty_rate);
+  kv "loss_penalty" (penalty_str b.Business.loss_penalty_rate);
+  (match b.Business.recovery_time_objective with
+  | None -> ()
+  | Some rto -> kv "rto" (duration_str rto));
+  (match b.Business.recovery_point_objective with
+  | None -> ()
+  | Some rpo -> kv "rpo" (duration_str rpo));
+  kv "total_loss_equivalent" (duration_str b.Business.total_loss_equivalent);
+  let* () =
+    List.fold_left
+      (fun acc named ->
+        let* () = acc in
+        Buffer.add_char buf '\n';
+        emit_scenario buf named)
+      (Ok ()) scenarios
+  in
+  Ok (Buffer.contents buf)
+
 let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> Ok text

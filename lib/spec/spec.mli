@@ -82,3 +82,17 @@ val scenarios_of_string :
     none). *)
 
 val scenarios_of_file : string -> ((string * Scenario.t) list, string) result
+
+val design_to_string :
+  ?scenarios:(string * Scenario.t) list -> Design.t -> (string, string) result
+(** The inverse of {!design_of_string}: renders a design (and optional
+    named scenarios) in the description language, losslessly — every
+    quantity is emitted in its base unit (seconds, bytes, dollars) with a
+    shortest-round-trip decimal literal, so
+    [design_of_string (design_to_string d)] rebuilds a design whose
+    {!Design.fingerprint} matches [d]'s up to one systematic renaming: the
+    parser names the workload after the design. Used by the fuzzing
+    corpus ({!Storage_testkit}) to persist counterexamples as replayable
+    [.ssdep] files. Errors on designs the language cannot express
+    (background portfolio demands, non-full copy representations, name
+    collisions between structurally distinct devices or links). *)

@@ -1,0 +1,34 @@
+open Storage_model
+
+(** The failure corpus: counterexamples serialized as replayable [.ssdep]
+    design files with `# key = value` provenance headers (oracle, seed,
+    case index, shrink steps, message). The body is ordinary spec syntax,
+    so corpus files also load in [ssdep evaluate] and [ssdep lint]; the
+    fuzzer replays every entry of a corpus directory before generating
+    fresh cases. *)
+
+type entry = {
+  oracle : string;  (** the oracle that failed *)
+  seed : int64;  (** the per-case seed (not the session seed) *)
+  case_index : int;
+  message : string;  (** the oracle's failure message when found *)
+  shrink_steps : int;
+  design : Design.t;  (** already shrunk *)
+  scenarios : (string * Scenario.t) list;
+}
+
+val filename : entry -> string
+(** [<oracle>-case<N>-0x<seed>.ssdep]. *)
+
+val to_string : entry -> (string, string) result
+val of_string : string -> (entry, string) result
+
+val write : dir:string -> entry -> (string, string) result
+(** Serializes into [dir] (created if absent) under {!filename};
+    returns the path written. *)
+
+val load : string -> (entry, string) result
+
+val load_dir : string -> ((string * entry) list, string) result
+(** Every [.ssdep] entry of the directory in filename order, paired with
+    its path; [Ok []] when the directory does not exist. *)

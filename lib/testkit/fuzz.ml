@@ -1,0 +1,153 @@
+(* The fuzz driver: corpus replay, then [budget] freshly generated cases
+   judged by every oracle, with failures shrunk to minimal
+   counterexamples and written back to the corpus.
+
+   Determinism contract: the whole run is a pure function of (oracle
+   list, corpus contents, session seed, budget). Per-case seeds are drawn
+   from one splitmix64 stream seeded with the session seed, and every
+   oracle is deterministic given its engines, so two runs with the same
+   arguments produce byte-identical findings — the property the cram
+   suite and CI smoke stage pin. No wall-clock cutoffs for the same
+   reason; CI bounds the stage with an external timeout instead. *)
+
+open Storage_workload
+module Engine = Storage_engine
+
+type finding = {
+  entry : Corpus.entry;
+  file : string option;  (** where the entry was written or read *)
+  replayed : bool;  (** true when it came from the corpus, not generation *)
+}
+
+type outcome = {
+  cases : int;  (** fresh cases generated and judged *)
+  replayed : int;  (** corpus entries replayed *)
+  fixed : int;  (** replayed entries whose oracle no longer fails *)
+  findings : finding list;  (** chronological: replays first *)
+}
+
+let with_ctx ~engine f =
+  (* The auxiliary engine gives parallel-invariance a genuinely
+     multi-domain execution to compare against, whatever the session
+     engine's job count. *)
+  let aux = Engine.create ~jobs:(max 2 (Engine.jobs engine)) () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown aux)
+    (fun () -> f { Oracle.engine; aux })
+
+let check_entry ctx oracle (e : Corpus.entry) =
+  oracle.Oracle.check ctx e.Corpus.design e.Corpus.scenarios
+
+let replay_corpus ctx ~oracles ~log entries =
+  List.fold_left
+    (fun (replayed, fixed, findings) (path, (e : Corpus.entry)) ->
+      match Oracle.find_in oracles e.Corpus.oracle with
+      | None ->
+        log
+          (Printf.sprintf "%s: oracle %s not active, skipping" path
+             e.Corpus.oracle);
+        (replayed, fixed, findings)
+      | Some oracle ->
+        (match check_entry ctx oracle e with
+        | Oracle.Fail message ->
+          log (Printf.sprintf "%s: still failing (%s)" path message);
+          ( replayed + 1,
+            fixed,
+            { entry = { e with Corpus.message }; file = Some path;
+              replayed = true }
+            :: findings )
+        | Oracle.Pass | Oracle.Skip _ ->
+          log (Printf.sprintf "%s: no longer failing" path);
+          (replayed + 1, fixed + 1, findings)))
+    (0, 0, []) entries
+
+let shrunk_finding ctx oracle (case : Gen.case) message =
+  let keep d =
+    match oracle.Oracle.check ctx d case.Gen.scenarios with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass | Oracle.Skip _ -> false
+  in
+  let design, shrink_steps = Shrink.minimize ~keep case.Gen.design in
+  let message =
+    if shrink_steps = 0 then message
+    else begin
+      match oracle.Oracle.check ctx design case.Gen.scenarios with
+      | Oracle.Fail m -> m
+      | Oracle.Pass | Oracle.Skip _ -> message (* unreachable: keep held *)
+    end
+  in
+  {
+    Corpus.oracle = oracle.Oracle.name;
+    seed = case.Gen.seed;
+    case_index = case.Gen.index;
+    message;
+    shrink_steps;
+    design;
+    scenarios = case.Gen.scenarios;
+  }
+
+let run ?(oracles = Oracle.defaults) ?corpus_dir ?(log = ignore) ~engine ~seed
+    ~budget () =
+  let corpus =
+    match corpus_dir with
+    | None -> Ok []
+    | Some dir -> Corpus.load_dir dir
+  in
+  match corpus with
+  | Error _ as err -> err
+  | Ok entries ->
+    with_ctx ~engine @@ fun ctx ->
+    let replayed, fixed, replay_findings =
+      replay_corpus ctx ~oracles ~log entries
+    in
+    let master = Prng.create ~seed in
+    let fresh = ref [] in
+    for index = 0 to budget - 1 do
+      let case_seed = Prng.next_int64 master in
+      let case = Gen.case ~seed:case_seed ~index in
+      List.iter
+        (fun oracle ->
+          match oracle.Oracle.check ctx case.Gen.design case.Gen.scenarios with
+          | Oracle.Pass | Oracle.Skip _ -> ()
+          | Oracle.Fail message ->
+            log
+              (Printf.sprintf "case %d (seed 0x%Lx): %s failed" index
+                 case_seed oracle.Oracle.name);
+            let entry = shrunk_finding ctx oracle case message in
+            let file =
+              match corpus_dir with
+              | None -> None
+              | Some dir ->
+                (match Corpus.write ~dir entry with
+                | Ok path -> Some path
+                | Error msg ->
+                  log
+                    (Printf.sprintf "cannot persist counterexample: %s" msg);
+                  None)
+            in
+            fresh := { entry; file; replayed = false } :: !fresh)
+        oracles
+    done;
+    Ok
+      {
+        cases = budget;
+        replayed;
+        fixed;
+        findings = List.rev replay_findings @ List.rev !fresh;
+      }
+
+let replay ?(oracles = Oracle.all) ~engine path =
+  match Corpus.load path with
+  | Error _ as err -> err
+  | Ok e ->
+    (match Oracle.find_in oracles e.Corpus.oracle with
+    | None -> Error (Printf.sprintf "unknown oracle %s" e.Corpus.oracle)
+    | Some oracle ->
+      with_ctx ~engine @@ fun ctx ->
+      (match check_entry ctx oracle e with
+      | Oracle.Fail message ->
+        Ok
+          (Some
+             { entry = { e with Corpus.message }; file = Some path;
+               replayed = true })
+      | Oracle.Pass | Oracle.Skip _ -> Ok None))

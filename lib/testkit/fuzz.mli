@@ -1,0 +1,48 @@
+(** The fuzz driver: replays the failure corpus, then generates [budget]
+    seeded cases, judges each against every active oracle, shrinks
+    failures to minimal counterexamples and persists them.
+
+    The whole run is a pure function of (oracles, corpus contents,
+    session seed, budget): per-case seeds come from one splitmix64 stream
+    and the oracles are deterministic given their engines, so two runs
+    with the same arguments produce byte-identical findings. There are
+    deliberately no wall-clock cutoffs — CI bounds its smoke stage with
+    an external [timeout] instead. *)
+
+type finding = {
+  entry : Corpus.entry;
+  file : string option;
+      (** the corpus path the entry was written to (fresh findings with a
+          corpus directory) or read from (replays); [None] otherwise *)
+  replayed : bool;
+      (** [true] when the finding came from corpus replay, not generation *)
+}
+
+type outcome = {
+  cases : int;  (** fresh cases generated and judged *)
+  replayed : int;  (** corpus entries replayed against their oracle *)
+  fixed : int;  (** replayed entries whose oracle no longer fails *)
+  findings : finding list;  (** chronological: replays first *)
+}
+
+val run :
+  ?oracles:Oracle.t list ->
+  ?corpus_dir:string ->
+  ?log:(string -> unit) ->
+  engine:Storage_engine.t ->
+  seed:int64 ->
+  budget:int ->
+  unit ->
+  (outcome, string) result
+(** [oracles] defaults to {!Oracle.defaults}; without [corpus_dir]
+    nothing is replayed or persisted. [Error] only on an unreadable
+    corpus — oracle failures are findings, not errors. *)
+
+val replay :
+  ?oracles:Oracle.t list ->
+  engine:Storage_engine.t ->
+  string ->
+  (finding option, string) result
+(** Re-judges a single corpus file against its recorded oracle (looked up
+    in [oracles], default {!Oracle.all}); [Ok None] when it no longer
+    fails. *)

@@ -9,6 +9,7 @@ let usd_per_sec x =
 
 let usd_per_hour x = usd_per_sec (x /. 3600.)
 let to_usd_per_hour t = t *. 3600.
+let to_usd_per_sec t = t
 let charge t d = Money.usd (t *. Duration.to_seconds d)
 let add a b = a +. b
 

@@ -13,6 +13,11 @@ val usd_per_hour : float -> t
 val usd_per_sec : float -> t
 val to_usd_per_hour : t -> float
 
+val to_usd_per_sec : t -> float
+(** The stored representation; [usd_per_sec (to_usd_per_sec t) = t]
+    bit for bit, which the {!Storage_spec} writer relies on for lossless
+    round-trips. *)
+
 val charge : t -> Duration.t -> Money.t
 (** [charge rate d] is the penalty for a duration [d]. *)
 

@@ -1,0 +1,89 @@
+Generative conformance fuzzing: exit codes are part of the contract
+(0 clean, 1 counterexample found, 2 usage error), and everything is a
+pure function of the seed, so the outputs below are byte-stable.
+
+The oracle registry:
+
+  $ ssdep fuzz --list-oracles
+  lint-coincidence         Lint.accepts iff Design.validate; per scenario, lint errors empty iff Evaluate.run reports no errors
+  cache-invariance         Eval_cache.run is byte-identical to Evaluate.run, and a cache hit returns the physically stored report
+  stream-vs-materialized   Search.run (streaming, engine) is byte-identical to the legacy materialized loop on the case's singleton grid
+  parallel-invariance      Objective.summarize and Search.run are byte-identical between a serial and a multi-domain engine
+  monotone-shorter-window  halving a level's accumulation window never worsens now-target data loss (shorter backup windows mean fresher retrieval points)
+  monotone-bandwidth       doubling every device's bandwidth never worsens recovery time
+  monotone-cost            outlays are monotone in workload capacity (2x growth)
+  analytic-vs-sim          simulated data loss within the analytic worst case (+1 s) and simulated recovery time within the documented tolerance band of the analytic estimate, for now-targets on valid designs
+  self-test-fail           fails on every case by construction — exercises the counterexample pipeline (shrinking, corpus, replay); excluded from the defaults
+
+A clean run exits 0 and leaves the corpus directory empty:
+
+  $ ssdep fuzz --seed 7 --budget 2 --corpus fresh-corpus --oracle lint-coincidence --oracle cache-invariance
+  fuzz: seed 0x7, budget 2, 2 oracles
+  findings: 0
+
+The self-test oracle fails by construction, so it deterministically
+produces a shrunk counterexample, persists it, and exits 1:
+
+  $ ssdep fuzz --seed 42 --budget 1 --oracle self-test-fail --corpus corpus1
+  fuzz: seed 0x2a, budget 1, 1 oracle
+  findings: 1
+  FAIL self-test-fail: self-test oracle fails by construction
+    case 0, seed 0xbdd732262feb6e95, shrunk 15 steps
+    design: snap/12h x4, backup/2d, vault/4wk
+    corpus: corpus1/self-test-fail-case0-0xbdd732262feb6e95.ssdep
+  [1]
+
+The corpus file is an ordinary design file with provenance headers:
+
+  $ head -6 corpus1/self-test-fail-case0-0xbdd732262feb6e95.ssdep
+  # ssdep fuzz counterexample
+  # oracle = self-test-fail
+  # seed = 0xbdd732262feb6e95
+  # case = 0
+  # shrink_steps = 15
+  # message = self-test oracle fails by construction
+
+Replaying the single file reproduces the same oracle failure:
+
+  $ ssdep fuzz --replay corpus1/self-test-fail-case0-0xbdd732262feb6e95.ssdep
+  FAIL self-test-fail: self-test oracle fails by construction
+    case 0, seed 0xbdd732262feb6e95 (corpus replay)
+    design: snap/12h x4, backup/2d, vault/4wk
+    corpus: corpus1/self-test-fail-case0-0xbdd732262feb6e95.ssdep
+  [1]
+
+A later session replays its corpus before generating anything (budget 0
+means replay only):
+
+  $ ssdep fuzz --seed 42 --budget 0 --oracle self-test-fail --corpus corpus1
+  fuzz: seed 0x2a, budget 0, 1 oracle
+  corpus: replayed 1, fixed 0
+  findings: 1
+  FAIL self-test-fail: self-test oracle fails by construction
+    case 0, seed 0xbdd732262feb6e95 (corpus replay)
+    design: snap/12h x4, backup/2d, vault/4wk
+    corpus: corpus1/self-test-fail-case0-0xbdd732262feb6e95.ssdep
+  [1]
+
+But with the production registry the self-test entry is inactive and
+skipped, so a default run over the same corpus stays clean — which is
+what lets a demonstration counterexample live in the checked-in corpus
+without breaking CI:
+
+  $ ssdep fuzz --seed 7 --budget 0 --corpus corpus1
+  fuzz: seed 0x7, budget 0, 8 oracles
+  findings: 0
+
+Usage errors exit 2:
+
+  $ ssdep fuzz --oracle bogus
+  ssdep fuzz: unknown oracle "bogus" (try --list-oracles)
+  [2]
+
+  $ ssdep fuzz --budget=-3
+  ssdep fuzz: budget must be non-negative
+  [2]
+
+  $ ssdep fuzz --replay missing.ssdep
+  ssdep fuzz: missing.ssdep: No such file or directory
+  [2]

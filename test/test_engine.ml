@@ -148,12 +148,11 @@ let test_map_seq_exception_propagates () =
 (* Streaming search == materialized legacy search *)
 
 (* ~200 seeded random designs drawn with repetition (duplicates exercise
-   the cache dedup) from an enumerated pool. *)
+   the cache dedup) from an enumerated pool; same draws as ever — the
+   testkit's [draw] reproduces the historical loop bit for bit. *)
 let seeded_candidates =
-  let pool = Test_random_designs.pool in
-  let st = Random.State.make [| 0x57E4; 2004 |] in
-  let n = List.length pool in
-  List.init 200 (fun _ -> List.nth pool (Random.State.int st n))
+  Storage_testkit.Seeded.draw ~seed:[| 0x57E4; 2004 |] ~n:200
+    Test_random_designs.pool
 
 let legacy_oracle () =
   (Search.legacy_run seeded_candidates scenarios [@alert "-deprecated"])

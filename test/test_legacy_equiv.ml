@@ -1,0 +1,185 @@
+(* Each [@@deprecated] legacy_* shim must stay byte-identical to its
+   [?engine] replacement: same seeds in, same bytes out, whether the
+   replacement runs engine-less, serially, or on a multi-domain engine.
+   This is the contract that lets callers migrate one line at a time. *)
+
+open Storage_units
+open Storage_model
+open Storage_optimize
+open Storage_presets
+module Engine = Storage_engine
+module Seeded = Storage_testkit.Seeded
+
+let bytes_of x = Marshal.to_string x [ Marshal.No_sharing ]
+
+let check_same_bytes msg a b =
+  Alcotest.(check bool) msg true (String.equal (bytes_of a) (bytes_of b))
+
+let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ]
+
+(* Fixed seeded draws: 40 designs with repetition from the shared pool.
+   Both sides of every comparison see the same physical designs, so
+   memoized fingerprints cannot differ between the marshaled results. *)
+let designs = Seeded.draw ~seed:[| 0xEC; 2004 |] ~n:40 (Seeded.pool ())
+let base = List.hd designs
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let test_search () =
+  let legacy = (Search.legacy_run designs scenarios [@alert "-deprecated"]) in
+  let plain = Search.run (List.to_seq designs) scenarios in
+  let engined =
+    Engine.with_engine ~jobs:3 (fun engine ->
+        Search.run ~engine (List.to_seq designs) scenarios)
+  in
+  check_same_bytes "legacy_run = run (engine-less)" legacy plain;
+  check_same_bytes "legacy_run = run (3 domains)" legacy engined
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity *)
+
+let build v = Seeded.scaled ~factor:v base
+let against_build v = Seeded.scaled ~factor:v (List.nth designs 3)
+let values = [ 0.5; 0.75; 1.0; 1.25 ]
+
+let test_sensitivity_sweep () =
+  let legacy =
+    (Sensitivity.legacy_sweep build ~values Baseline.scenario_array
+     [@alert "-deprecated"])
+  in
+  let plain = Sensitivity.sweep build ~values Baseline.scenario_array in
+  let engined =
+    Engine.with_engine ~jobs:3 (fun engine ->
+        Sensitivity.sweep ~engine build ~values Baseline.scenario_array)
+  in
+  check_same_bytes "legacy_sweep = sweep (engine-less)" legacy plain;
+  check_same_bytes "legacy_sweep = sweep (3 domains)" legacy engined
+
+let test_sensitivity_crossover () =
+  let metric p = Money.to_usd p.Sensitivity.total_cost in
+  let legacy =
+    (Sensitivity.legacy_crossover build ~values Baseline.scenario_array ~metric
+       ~against:against_build
+     [@alert "-deprecated"])
+  in
+  let plain =
+    Sensitivity.crossover build ~values Baseline.scenario_array ~metric
+      ~against:against_build
+  in
+  let engined =
+    Engine.with_engine ~jobs:3 (fun engine ->
+        Sensitivity.crossover ~engine build ~values Baseline.scenario_array
+          ~metric ~against:against_build)
+  in
+  check_same_bytes "legacy_crossover = crossover (engine-less)" legacy plain;
+  check_same_bytes "legacy_crossover = crossover (3 domains)" legacy engined
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio *)
+
+let distinct_pair () =
+  (* Two pool members with different names share the kit hardware, which
+     is exactly the configuration [Portfolio.make] accepts. *)
+  let d1 = base in
+  let d2 =
+    List.find (fun d -> d.Design.name <> d1.Design.name) designs
+  in
+  Portfolio.make_exn [ d1; d2 ]
+
+let test_portfolio () =
+  let p = distinct_pair () in
+  let legacy =
+    (Portfolio.legacy_evaluate p Baseline.scenario_site
+     [@alert "-deprecated"])
+  in
+  let plain = Portfolio.evaluate p Baseline.scenario_site in
+  let engined =
+    Engine.with_engine ~jobs:3 (fun engine ->
+        Portfolio.evaluate ~engine p Baseline.scenario_site)
+  in
+  check_same_bytes "legacy_evaluate = evaluate (engine-less)" legacy plain;
+  check_same_bytes "legacy_evaluate = evaluate (3 domains)" legacy engined
+
+(* ------------------------------------------------------------------ *)
+(* Risk *)
+
+let weighted =
+  [
+    { Risk.scenario = Baseline.scenario_array; frequency_per_year = 0.5 };
+    { Risk.scenario = Baseline.scenario_site; frequency_per_year = 0.02 };
+  ]
+
+let test_risk () =
+  let seed = 0xBEEFL and samples = 500 in
+  let legacy =
+    (Risk.legacy_monte_carlo ~seed ~samples base weighted ~horizon_years:5.
+     [@alert "-deprecated"])
+  in
+  let legacy_jobs =
+    (Risk.legacy_monte_carlo ~seed ~samples ~jobs:3 base weighted
+       ~horizon_years:5.
+     [@alert "-deprecated"])
+  in
+  let plain =
+    Risk.monte_carlo ~seed ~samples base weighted ~horizon_years:5.
+  in
+  let engined =
+    Engine.with_engine ~jobs:3 (fun engine ->
+        Risk.monte_carlo ~engine ~seed ~samples base weighted
+          ~horizon_years:5.)
+  in
+  check_same_bytes "legacy jobs=1 = legacy jobs=3" legacy legacy_jobs;
+  check_same_bytes "legacy_monte_carlo = monte_carlo (engine-less)" legacy
+    plain;
+  check_same_bytes "legacy_monte_carlo = monte_carlo (3 domains)" legacy
+    engined
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_sweep () =
+  let config =
+    {
+      Storage_sim.Sim.warmup = Duration.weeks 10.;
+      log = false;
+      outage = None;
+      record_events = false;
+    }
+  in
+  let offsets = [ Duration.seconds 0.; Duration.minutes 7.; Duration.hours 1. ] in
+  let legacy =
+    (Storage_sim.Sim.legacy_sweep_failure_phase ~config base
+       Baseline.scenario_array ~offsets
+     [@alert "-deprecated"])
+  in
+  let plain =
+    Storage_sim.Sim.sweep_failure_phase ~config base Baseline.scenario_array
+      ~offsets
+  in
+  let engined =
+    Engine.with_engine ~jobs:3 (fun engine ->
+        Storage_sim.Sim.sweep_failure_phase ~engine ~config base
+          Baseline.scenario_array ~offsets)
+  in
+  check_same_bytes "legacy_sweep_failure_phase = sweep (engine-less)" legacy
+    plain;
+  check_same_bytes "legacy_sweep_failure_phase = sweep (3 domains)" legacy
+    engined
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "legacy_equiv",
+      [
+        t "Search.legacy_run == Search.run" test_search;
+        t "Sensitivity.legacy_sweep == sweep" test_sensitivity_sweep;
+        t "Sensitivity.legacy_crossover == crossover"
+          test_sensitivity_crossover;
+        t "Portfolio.legacy_evaluate == evaluate" test_portfolio;
+        t "Risk.legacy_monte_carlo == monte_carlo" test_risk;
+        t "Sim.legacy_sweep_failure_phase == sweep_failure_phase"
+          test_sim_sweep;
+      ] );
+  ]

@@ -322,32 +322,7 @@ let test_presets_lint_clean () =
 
 (* --- coincidence with the evaluator, over seeded random designs --- *)
 
-let kit =
-  {
-    Candidate.workload = Cello.workload;
-    business;
-    primary = Baseline.disk_array;
-    tape_library = Baseline.tape_library;
-    vault = Baseline.vault;
-    remote_array = Baseline.remote_array;
-    san = Baseline.san;
-    shipment = Baseline.air_shipment;
-    wan = (fun links -> Baseline.oc3 ~links);
-  }
-
-let pool =
-  List.of_seq
-  @@ Candidate.enumerate kit
-       {
-      Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
-      pit_accumulations = [ Duration.hours 12. ];
-      pit_retentions = [ 2; 4 ];
-      backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
-      backup_retention_horizon = Duration.weeks 4.;
-      vault_accumulations = [ Duration.weeks 4. ];
-      vault_retention_horizon = Duration.years 1.;
-      mirror_links = [ 1; 4 ];
-    }
+let pool = Storage_testkit.Seeded.lint_pool ()
 
 let eval_scenarios = [ Baseline.scenario_array; Baseline.scenario_site ]
 
@@ -359,10 +334,7 @@ let arb_scaled =
   QCheck.pair QCheck.(int_range 0 1000) QCheck.(float_range 0.25 64.)
   |> QCheck.map (fun (i, factor) ->
          let d = List.nth pool (i mod List.length pool) in
-         Design.make
-           ~name:(Printf.sprintf "%s-x%.3g" d.Design.name factor)
-           ~workload:(Workload.grow d.Design.workload ~factor)
-           ~hierarchy:d.Design.hierarchy ~business:d.Design.business ())
+         Storage_testkit.Seeded.scaled ~factor d)
   |> QCheck.set_print (fun d -> d.Design.name)
 
 let prop_accepts_iff_validates =

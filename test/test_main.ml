@@ -9,4 +9,4 @@ let () =
    @ Test_lint.suite
    @ Test_random_designs.suite
    @ Test_parallel.suite @ Test_engine.suite @ Test_report.suite
-   @ Test_obs.suite)
+   @ Test_obs.suite @ Test_testkit.suite @ Test_legacy_equiv.suite)

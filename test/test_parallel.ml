@@ -193,11 +193,10 @@ let test_scenario_fingerprint_distinct () =
 (* Parallel == serial, and the cache never changes a metric *)
 
 (* ~200 seeded random designs drawn (with repetition, exercising the
-   cache's dedup) from the enumerated pool. *)
+   cache's dedup) from the enumerated pool; same draws as ever — the
+   testkit's [draw] reproduces the historical loop bit for bit. *)
 let seeded_candidates =
-  let st = Random.State.make [| 0x5DE9; 2004 |] in
-  let n = List.length pool_designs in
-  List.init 200 (fun _ -> List.nth pool_designs (Random.State.int st n))
+  Storage_testkit.Seeded.draw ~seed:[| 0x5DE9; 2004 |] ~n:200 pool_designs
 
 let test_search_parallel_equals_serial () =
   let run jobs =

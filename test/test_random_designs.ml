@@ -4,47 +4,17 @@
 
 open Storage_units
 open Storage_model
-open Storage_optimize
 open Storage_presets
 open Helpers
+module Seeded = Storage_testkit.Seeded
 
-let business =
-  Business.make
-    ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
-    ~loss_penalty_rate:(Money_rate.usd_per_hour 50_000.)
-    ()
-
-let kit =
-  {
-    Candidate.workload = Cello.workload;
-    business;
-    primary = Baseline.disk_array;
-    tape_library = Baseline.tape_library;
-    vault = Baseline.vault;
-    remote_array = Baseline.remote_array;
-    san = Baseline.san;
-    shipment = Baseline.air_shipment;
-    wan = (fun links -> Baseline.oc3 ~links);
-  }
-
-(* A moderate pool of valid designs to draw from. *)
-let pool_spec =
-  {
-    Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
-    pit_accumulations = [ Duration.hours 6.; Duration.hours 12. ];
-    pit_retentions = [ 2; 4 ];
-    backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
-    backup_retention_horizon = Duration.weeks 4.;
-    vault_accumulations = [ Duration.weeks 1.; Duration.weeks 4. ];
-    vault_retention_horizon = Duration.years 1.;
-    mirror_links = [ 1; 4 ];
-  }
-
-let pool = List.of_seq (Candidate.enumerate kit pool_spec)
+(* A moderate pool of valid designs to draw from — the shared testkit
+   pool (same kit, same grid as the historical in-file definition). *)
+let pool = Seeded.pool ()
 
 (* A structurally identical but physically fresh enumeration — used by the
    fingerprint tests to show keys depend only on structure. *)
-let pool_again () = List.of_seq (Candidate.enumerate kit pool_spec)
+let pool_again = Seeded.pool_again
 
 let arb_design =
   QCheck.map (fun i -> List.nth pool (i mod List.length pool))

@@ -417,6 +417,37 @@ let test_burst_multiplier_sane () =
   Alcotest.(check bool) "smooth low" true (bm smooth < 2.);
   Alcotest.(check bool) "bursty higher" true (bm bursty > bm smooth)
 
+let test_stats_roundtrip_20_seeds () =
+  (* Round trip: a synthetic trace generated from a known profile must
+     give its parameters back through Trace_stats, for every seed. The
+     tolerances are empirically calibrated over these exact 20 seeds with
+     margin (observed: rate within +-8.3% of the configured 640 KiB/s;
+     burst 3.60-4.92x at the default 1-minute bucket, which smooths over
+     the ~1-minute exponential phases and so systematically reads LOW,
+     and 4.97-5.86x at a 15 s bucket, which resolves single busy phases
+     but reads HIGH on within-phase Poisson noise). *)
+  for seed = 1 to 20 do
+    let t =
+      Trace.generate ~seed:(Int64.of_int seed) small_profile
+        (Duration.hours 6.)
+    in
+    let rate = Rate.to_kib_per_sec (Trace_stats.average_update_rate t) in
+    close ~tol:0.12
+      (Printf.sprintf "mean rate recovered (seed %d)" seed)
+      640. rate;
+    let coarse = Trace_stats.burst_multiplier t in
+    if coarse < 0.65 *. 5. || coarse > 1.02 *. 5. then
+      Alcotest.failf "seed %d: 1-min burst %.2fx outside [3.25, 5.10]" seed
+        coarse;
+    let fine =
+      Trace_stats.burst_multiplier ~bucket:(Duration.seconds 15.) t
+    in
+    if fine < 0.9 *. 5. || fine > 1.3 *. 5. then
+      Alcotest.failf "seed %d: 15-s burst %.2fx outside [4.50, 6.50]" seed fine;
+    if not (fine >= coarse -. 1e-9) then
+      Alcotest.failf "seed %d: finer bucket read below coarser one" seed
+  done
+
 let test_to_workload () =
   let t = Trace.generate ~seed:8L small_profile (Duration.hours 6.) in
   let w =
@@ -530,6 +561,8 @@ let suite =
         Alcotest.test_case "batch rate decreasing" `Quick
           test_batch_rate_decreases_with_window;
         Alcotest.test_case "burst multiplier" `Slow test_burst_multiplier_sane;
+        Alcotest.test_case "profile round-trip over 20 seeds" `Slow
+          test_stats_roundtrip_20_seeds;
         Alcotest.test_case "to_workload" `Quick test_to_workload;
         Alcotest.test_case "curve from trace monotone" `Quick
           test_batch_curve_from_trace_monotone;
