@@ -92,6 +92,18 @@ let jobs_arg =
   in
   Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
 
+let chunk_arg =
+  let doc =
+    "Force the parallel scheduling granularity: deal contiguous batches \
+     of $(docv) evaluations per pool task (default: auto-sized from the \
+     streaming window and $(b,--jobs)). Results are identical whatever \
+     the value; only dispatch overhead changes. Ignored when serial."
+  in
+  Arg.(
+    value
+    & opt (some positive_int_conv) None
+    & info [ "chunk" ] ~docv:"N" ~doc)
+
 (* --- engine statistics (observability layer) --- *)
 
 let stats_arg =
@@ -137,10 +149,12 @@ let with_stats stats stats_json body =
 (* One construction point for the execution engine: --jobs and --stats
    flow through [Engine.of_cli], and the command body receives a ready
    engine that is shut down on the way out. *)
-let with_engine ~jobs ~stats ~stats_json body =
+let with_engine ?chunk ~jobs ~stats ~stats_json body =
   with_stats stats stats_json @@ fun () ->
   let engine =
-    Storage_optimize.Engine.of_cli ~jobs ~stats:(stats || stats_json <> None)
+    Storage_optimize.Engine.of_cli ?chunk ~jobs
+      ~stats:(stats || stats_json <> None)
+      ()
   in
   Fun.protect
     ~finally:(fun () -> Storage_optimize.Engine.shutdown engine)
@@ -422,9 +436,9 @@ let simulate_cmd =
     in
     Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
   in
-  let run design scope target_age warmup sweep outage trace jobs stats
+  let run design scope target_age warmup sweep outage trace chunk jobs stats
       stats_json =
-    with_engine ~jobs ~stats ~stats_json @@ fun engine ->
+    with_engine ?chunk ~jobs ~stats ~stats_json @@ fun engine ->
     match find_design design with
     | Error e -> Error e
     | Ok d -> (
@@ -489,7 +503,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ design_arg $ scope_arg $ target_age_arg $ warmup $ sweep
-      $ outage $ trace $ jobs_arg $ stats_arg $ stats_json_arg)
+      $ outage $ trace $ chunk_arg $ jobs_arg $ stats_arg $ stats_json_arg)
   in
   let info =
     Cmd.info "simulate"
@@ -535,8 +549,9 @@ let optimize_cmd =
     Arg.(value & opt (some positive_int_conv) None
          & info [ "max-candidates" ] ~docv:"N" ~doc)
   in
-  let run rto rpo top_k grid_scale max_candidates jobs stats stats_json =
-    with_engine ~jobs ~stats ~stats_json @@ fun engine ->
+  let run rto rpo top_k grid_scale max_candidates chunk jobs stats stats_json
+      =
+    with_engine ?chunk ~jobs ~stats ~stats_json @@ fun engine ->
     let business =
       Business.make
         ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
@@ -583,8 +598,8 @@ let optimize_cmd =
   in
   let term =
     Term.(
-      const run $ rto $ rpo $ top_k $ grid_scale $ max_candidates $ jobs_arg
-      $ stats_arg $ stats_json_arg)
+      const run $ rto $ rpo $ top_k $ grid_scale $ max_candidates $ chunk_arg
+      $ jobs_arg $ stats_arg $ stats_json_arg)
   in
   let info =
     Cmd.info "optimize"
@@ -1006,8 +1021,8 @@ let fuzz_cmd =
     Fmt.pr "ssdep fuzz: %s@." msg;
     exit_with 2
   in
-  let run seed budget corpus replay oracle_names list_oracles jobs stats
-      stats_json =
+  let run seed budget corpus replay oracle_names list_oracles chunk jobs
+      stats stats_json =
     if list_oracles then begin
       List.iter
         (fun (o : K.Oracle.t) ->
@@ -1030,7 +1045,7 @@ let fuzz_cmd =
                   (Printf.sprintf "unknown oracle %S (try --list-oracles)" n))
             names
       in
-      with_engine ~jobs ~stats ~stats_json @@ fun engine ->
+      with_engine ?chunk ~jobs ~stats ~stats_json @@ fun engine ->
       match replay with
       | Some path -> (
         match K.Fuzz.replay ~engine path with
@@ -1061,7 +1076,7 @@ let fuzz_cmd =
   let term =
     Term.(
       const run $ seed_arg $ budget_arg $ corpus_arg $ replay_arg $ oracle_arg
-      $ list_arg $ jobs_arg $ stats_arg $ stats_json_arg)
+      $ list_arg $ chunk_arg $ jobs_arg $ stats_arg $ stats_json_arg)
   in
   let info =
     Cmd.info "fuzz"

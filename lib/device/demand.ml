@@ -32,15 +32,18 @@ let pp ppf t =
 
 type labeled = { technique : string; demand : t }
 
+(* Techniques in first-appearance order, duplicate labels summed. The
+   lists here are a handful of entries (one per hierarchy level landing
+   on a device), so an in-order association fold beats a hash table —
+   this runs once per (design, device) on the evaluation hot path. *)
 let by_technique labeled =
-  let order = ref [] in
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun { technique; demand } ->
-      match Hashtbl.find_opt table technique with
-      | None ->
-        Hashtbl.add table technique demand;
-        order := technique :: !order
-      | Some existing -> Hashtbl.replace table technique (add existing demand))
-    labeled;
-  List.rev_map (fun name -> (name, Hashtbl.find table name)) !order
+  let rec merge acc technique demand =
+    match acc with
+    | [] -> [ (technique, demand) ]
+    | (t, existing) :: rest when String.equal t technique ->
+      (t, add existing demand) :: rest
+    | pair :: rest -> pair :: merge rest technique demand
+  in
+  List.fold_left
+    (fun acc { technique; demand } -> merge acc technique demand)
+    [] labeled

@@ -32,7 +32,9 @@ type t = {
   lint : bool;
   seed : int64;
   stats : bool;
+  cache : bool;
   cache_bound : int option;
+  chunk : int option;
   lock : Mutex.t;
   mutable pool : Storage_parallel.Pool.t option;
   slots : (int, binding) Hashtbl.t;
@@ -43,10 +45,13 @@ type t = {
 let default_seed = 0xCA5CADEL
 
 let create ?(jobs = 1) ?(lint = true) ?(seed = default_seed) ?(stats = false)
-    ?cache_bound () =
+    ?(cache = true) ?cache_bound ?chunk () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   (match cache_bound with
   | Some n when n < 1 -> invalid_arg "Engine.create: cache_bound must be >= 1"
+  | _ -> ());
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Engine.create: chunk must be >= 1"
   | _ -> ());
   if stats then Storage_obs.enable ();
   {
@@ -54,7 +59,9 @@ let create ?(jobs = 1) ?(lint = true) ?(seed = default_seed) ?(stats = false)
     lint;
     seed;
     stats;
+    cache;
     cache_bound;
+    chunk;
     lock = Mutex.create ();
     pool = None;
     slots = Hashtbl.create 8;
@@ -63,13 +70,16 @@ let create ?(jobs = 1) ?(lint = true) ?(seed = default_seed) ?(stats = false)
 (* Unattended front ends share one bound: large enough that the CLI's
    design grids (hundreds of candidates x a few scenarios) never evict,
    small enough that streaming a million-design grid stays bounded. *)
-let of_cli ~jobs ~stats = create ~jobs ~stats ~cache_bound:8192 ()
+let of_cli ?chunk ~jobs ~stats () =
+  create ~jobs ~stats ~cache_bound:8192 ?chunk ()
 
 let jobs t = t.jobs
 let lint t = t.lint
 let seed t = t.seed
 let stats t = t.stats
+let cache t = t.cache
 let cache_bound t = t.cache_bound
+let chunk t = t.chunk
 
 let locked t f =
   Mutex.lock t.lock;
@@ -110,10 +120,12 @@ let map t f xs =
   | None -> List.map f xs
   | Some p -> Storage_parallel.Pool.map_on p f xs
 
-let map_seq ?window t f xs =
+let map_seq ?window ?chunk t f xs =
   match pool t with
   | None -> Seq.map f xs
-  | Some p -> Storage_parallel.Pool.map_seq ?window p f xs
+  | Some p ->
+    let chunk = match chunk with Some _ -> chunk | None -> t.chunk in
+    Storage_parallel.Pool.map_seq ?window ?chunk p f xs
 
 let slot t key ~default =
   locked t (fun () ->

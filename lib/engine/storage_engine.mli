@@ -33,19 +33,27 @@ val create :
   ?lint:bool ->
   ?seed:int64 ->
   ?stats:bool ->
+  ?cache:bool ->
   ?cache_bound:int ->
+  ?chunk:int ->
   unit ->
   t
 (** [create ()] is a serial engine: [jobs = 1], lint pre-filtering on,
-    the framework's fixed default seed, stats off, unbounded cache
-    policy. Raises [Invalid_argument] when [jobs < 1] or
-    [cache_bound < 1]. [~stats:true] additionally turns the global
-    {!Storage_obs} registry on. *)
+    the framework's fixed default seed, stats off, caching on with an
+    unbounded cache policy, auto-sized parallel chunks. Raises
+    [Invalid_argument] when [jobs < 1], [cache_bound < 1] or
+    [chunk < 1]. [~stats:true] additionally turns the global
+    {!Storage_obs} registry on. [~cache:false] turns the evaluation
+    memo-cache off entirely — one-shot sweeps over all-distinct grids
+    get no hits from it, so they skip both the cache bookkeeping and the
+    design fingerprinting that exists only to key it (see
+    {!Storage_model.Design.fingerprint}). *)
 
-val of_cli : jobs:int -> stats:bool -> t
+val of_cli : ?chunk:int -> jobs:int -> stats:bool -> unit -> t
 (** The one construction point for command-line front ends: routes
-    [--jobs] and [--stats] into an engine with a bounded evaluation-cache
-    policy suitable for unattended runs (see {!cache_bound}). *)
+    [--jobs], [--chunk] and [--stats] into an engine with a bounded
+    evaluation-cache policy suitable for unattended runs (see
+    {!cache_bound}). *)
 
 val with_engine :
   ?jobs:int -> ?lint:bool -> ?seed:int64 -> ?stats:bool -> (t -> 'a) -> 'a
@@ -63,21 +71,35 @@ val seed : t -> int64
 
 val stats : t -> bool
 
+val cache : t -> bool
+(** Whether evaluation loops should memoize (design, scenario) results
+    at all. [false] is the right setting for one-shot sweeps whose
+    candidates are all distinct: the cache cannot hit, so maintaining it
+    (and fingerprinting every design to key it) is pure overhead. *)
+
 val cache_bound : t -> int option
 (** Advisory bound for caches attached to this engine: [Some n] caps an
     engine-owned evaluation cache at [n] entries (FIFO eviction) so that
     streaming over a million-design grid keeps cache memory O(bound);
     [None] (the [create] default) leaves it unbounded. [of_cli] engines
-    are bounded. *)
+    are bounded. Irrelevant when {!cache} is [false]. *)
+
+val chunk : t -> int option
+(** Forced scheduling granularity for parallel maps: [Some c] makes
+    every {!map_seq} batch deal contiguous [c]-element tasks to the
+    domains; [None] (the default) auto-sizes chunks from the window and
+    the pool size. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map e f xs] is [List.map f xs] computed on the engine's pool
     ([jobs = 1] short-circuits to [List.map]). Results are in input
     order; the first exception by input index is re-raised. *)
 
-val map_seq : ?window:int -> t -> ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
+val map_seq :
+  ?window:int -> ?chunk:int -> t -> ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
 (** Streaming map over the engine's pool: see
-    {!Storage_parallel.Pool.map_seq}. [jobs = 1] short-circuits to
+    {!Storage_parallel.Pool.map_seq}. [?chunk] overrides the engine's
+    configured {!chunk} for this call. [jobs = 1] short-circuits to
     [Seq.map]. *)
 
 val shutdown : t -> unit

@@ -227,7 +227,7 @@ let check_design (d : Design.t) =
      advisory band below it. *)
   List.iter
     (fun (dev : Device.t) ->
-      let u = Device.utilization dev (Design.loaded_demands_on d dev) in
+      let u = Design.device_utilization d dev in
       let loc = Diagnostic.Device dev.Device.name in
       if u.Device.capacity_fraction > 1. then
         add
@@ -364,7 +364,7 @@ let check_design (d : Design.t) =
            (j - 1) (j - 1)))
     (Hierarchy.hold_retention_inversions h);
   for j = 1 to Hierarchy.length h - 1 do
-    if Hierarchy.guaranteed_range h j = None then
+    if Design.guaranteed_range d j = None then
       add
         (err ~code:"SSDEP-I002" Info (level_loc j (Hierarchy.level h j))
            "retention is too shallow to guarantee any retrieval-point \
@@ -447,7 +447,50 @@ let warnings ds =
 let infos ds =
   List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Info) ds
 
-let accepts d = errors (check_design d) = []
+(* [accepts] is [errors (check_design d) = []] computed without building
+   a single diagnostic — it runs once per candidate as the search
+   pre-filter, where the [ksprintf] message formatting of [check_design]
+   would dominate the test itself. The static errors of [check_design]
+   decompose exactly into
+   - E010/E011/E012/E013/E018, which are [Design.validate] (memoized per
+     design) reporting the same conditions over the same device and link
+     sets, and
+   - the finiteness screens: E014 over the workload and E015 over every
+     device and link cost model and the business penalty rates,
+   so testing those three pieces is testing membership in the error set.
+   The test suite pins the equivalence against the diagnostic-building
+   definition on both clean and corrupted designs. *)
+
+let workload_finite (w : Workload.t) =
+  let cap = Size.to_bytes w.Workload.data_capacity in
+  finite cap && cap > 0.
+  && nonneg_finite (Rate.to_bytes_per_sec w.Workload.avg_access_rate)
+  && nonneg_finite (Rate.to_bytes_per_sec w.Workload.avg_update_rate)
+  && finite w.Workload.burst_multiplier
+  && w.Workload.burst_multiplier >= 1.
+  && List.for_all
+       (fun (_, r) -> nonneg_finite (Rate.to_bytes_per_sec r))
+       (Batch_curve.samples w.Workload.batch_curve)
+
+let cost_model_finite (c : Cost_model.t) =
+  nonneg_finite (Money.to_usd c.Cost_model.fixed)
+  && nonneg_finite c.Cost_model.per_gib
+  && nonneg_finite c.Cost_model.per_mib_per_sec
+  && nonneg_finite c.Cost_model.per_shipment
+
+let accepts d =
+  (match Design.validate d with Ok () -> true | Error _ -> false)
+  && workload_finite d.Design.workload
+  && List.for_all
+       (fun (dev : Device.t) -> cost_model_finite dev.Device.cost)
+       (Design.devices d)
+  && List.for_all
+       (fun (link : Interconnect.t) -> cost_model_finite link.Interconnect.cost)
+       (design_links d)
+  && nonneg_finite
+       (Money_rate.to_usd_per_hour d.Design.business.Business.outage_penalty_rate)
+  && nonneg_finite
+       (Money_rate.to_usd_per_hour d.Design.business.Business.loss_penalty_rate)
 
 let obs_pruned = Storage_obs.Counter.make "lint.pruned"
 

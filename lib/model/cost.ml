@@ -14,49 +14,66 @@ type outlays = {
 let device_items design (dev : Device.t) =
   let owner = Design.primary_technique_of_device design dev in
   let shares = Demand.by_technique (Design.demands_on design dev) in
+  (* Component names vary only by device, not by technique share. *)
+  let name_fixed = dev.Device.name ^ " fixed" in
+  let name_capacity = dev.Device.name ^ " capacity" in
+  let name_bandwidth = dev.Device.name ^ " bandwidth" in
   let base_items =
     List.concat_map
       (fun (technique, demand) ->
-        let items = ref [] in
-        let push component amount =
-          if not (Money.is_zero amount) then
-            items := { technique; component; amount } :: !items
+        let tail = [] in
+        let bw =
+          Cost_model.bandwidth_cost dev.Device.cost (Demand.total_bw demand)
         in
-        if String.equal technique owner then
-          push (dev.Device.name ^ " fixed") dev.Device.cost.Cost_model.fixed;
-        push
-          (dev.Device.name ^ " capacity")
-          (Cost_model.capacity_cost dev.Device.cost demand.Demand.capacity);
-        push
-          (dev.Device.name ^ " bandwidth")
-          (Cost_model.bandwidth_cost dev.Device.cost (Demand.total_bw demand));
-        List.rev !items)
+        let tail =
+          if Money.is_zero bw then tail
+          else { technique; component = name_bandwidth; amount = bw } :: tail
+        in
+        let cap =
+          Cost_model.capacity_cost dev.Device.cost demand.Demand.capacity
+        in
+        let tail =
+          if Money.is_zero cap then tail
+          else { technique; component = name_capacity; amount = cap } :: tail
+        in
+        let fixed = dev.Device.cost.Cost_model.fixed in
+        if String.equal technique owner && not (Money.is_zero fixed) then
+          { technique; component = name_fixed; amount = fixed } :: tail
+        else tail)
       shares
   in
   (* Spares shadow the device: each technique's share is multiplied by the
      spare's cost factor (§3.3.5, "allocated in a similar fashion"). *)
   let spare_items label spare =
-    List.filter_map
-      (fun { technique; component; amount } ->
-        let cost = Spare.cost spare ~original:amount in
-        if Money.is_zero cost then None
-        else Some { technique; component = component ^ " " ^ label; amount = cost })
-      base_items
+    match (spare : Spare.t) with
+    | Spare.No_spare -> [] (* every shadowed cost would be zero *)
+    | Spare.Dedicated _ | Spare.Shared _ ->
+      List.filter_map
+        (fun { technique; component; amount } ->
+          let cost = Spare.cost spare ~original:amount in
+          if Money.is_zero cost then None
+          else
+            Some
+              { technique; component = component ^ " " ^ label; amount = cost })
+        base_items
   in
-  base_items
-  @ spare_items "spare" dev.Device.spare
-  @ spare_items "remote spare" dev.Device.remote_spare
+  match
+    (spare_items "spare" dev.Device.spare,
+     spare_items "remote spare" dev.Device.remote_spare)
+  with
+  | [], [] -> base_items
+  | spares, remote_spares -> base_items @ spares @ remote_spares
 
 let link_items design =
-  let seen = Hashtbl.create 4 in
+  let seen = ref [] in
   List.filter_map
     (fun (l : Hierarchy.level) ->
       match l.Hierarchy.link with
       | None -> None
       | Some link ->
-        if Hashtbl.mem seen link.Interconnect.name then None
+        if List.mem link.Interconnect.name !seen then None
         else begin
-          Hashtbl.add seen link.Interconnect.name ();
+          seen := link.Interconnect.name :: !seen;
           let shipments =
             match (link.Interconnect.transport, Technique.schedule l.technique)
             with
@@ -77,18 +94,20 @@ let link_items design =
         end)
     (Hierarchy.levels design.Design.hierarchy)
 
+(* Techniques in first-appearance order, amounts summed; like
+   [Demand.by_technique], the handful of entries makes an in-order
+   association fold the fast path. *)
 let group_by_technique items =
-  let order = ref [] in
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun { technique; amount; _ } ->
-      match Hashtbl.find_opt table technique with
-      | None ->
-        Hashtbl.add table technique amount;
-        order := technique :: !order
-      | Some acc -> Hashtbl.replace table technique (Money.add acc amount))
-    items;
-  List.rev_map (fun name -> (name, Hashtbl.find table name)) !order
+  let rec merge acc technique amount =
+    match acc with
+    | [] -> [ (technique, amount) ]
+    | (t, total) :: rest when String.equal t technique ->
+      (t, Money.add total amount) :: rest
+    | pair :: rest -> pair :: merge rest technique amount
+  in
+  List.fold_left
+    (fun acc { technique; amount; _ } -> merge acc technique amount)
+    [] items
 
 let outlays design =
   let items =
@@ -98,7 +117,7 @@ let outlays design =
   {
     items;
     by_technique = group_by_technique items;
-    total = Money.sum (List.map (fun i -> i.amount) items);
+    total = List.fold_left (fun acc i -> Money.add acc i.amount) Money.zero items;
   }
 
 type penalties = { outage : Money.t; loss : Money.t; total : Money.t }

@@ -1,5 +1,4 @@
 open Storage_units
-open Storage_protection
 open Storage_hierarchy
 
 type loss = Updates of Duration.t | Entire_object
@@ -17,23 +16,21 @@ type t = {
   candidates : (int * loss) list;
 }
 
-let level_loss hierarchy j ~target_age =
+(* Lag and range lookups go through [Design]'s per-design memo rather than
+   recomputing the window sums on every scenario. *)
+let level_loss design j ~target_age =
   if j = 0 then
     (* The primary copy holds the current state: only a "now" target. *)
     if Duration.is_zero target_age then Updates Duration.zero
     else Entire_object
   else begin
-    let worst = Hierarchy.worst_lag hierarchy j in
-    match Hierarchy.guaranteed_range hierarchy j with
+    let worst = Design.worst_lag design j in
+    match Design.guaranteed_range design j with
     | Some range ->
       if Duration.compare target_age (Age_range.newest_age range) < 0 then
         Updates (Duration.sub worst target_age)
       else if Age_range.contains range target_age then
-        Updates
-          (Schedule.rp_interval_min
-             (Option.get
-                (Technique.schedule
-                   (Hierarchy.level hierarchy j).Hierarchy.technique)))
+        Updates (Design.rp_interval_min design j)
       else Entire_object
     | None ->
       (* Retention too shallow to guarantee a range (e.g. a mirror with
@@ -54,7 +51,8 @@ let compute design scenario =
     let candidates =
       List.filter_map
         (fun j ->
-          if j = 0 then None else Some (j, level_loss h j ~target_age:age))
+          if j = 0 then None
+          else Some (j, level_loss design j ~target_age:age))
         survivors
     in
     match candidates with

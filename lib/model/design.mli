@@ -12,6 +12,13 @@ open Storage_hierarchy
     labeled per-device demand sets consumed by the utilization, recovery
     and cost models. *)
 
+type derived
+(** Everything the evaluation pipeline derives from the design's structure
+    (demand placements, per-device loads and utilizations, link demands,
+    validation, per-level lag tables), computed once per design on first
+    access and memoized. Purely an acceleration: accessors behave as if
+    they recomputed from scratch on every call. *)
+
 type t = private {
   name : string;
   workload : Workload.t;
@@ -24,6 +31,12 @@ type t = private {
   fingerprint_memo : string option Atomic.t;
       (** internal memo backing {!fingerprint}; not a design parameter and
           excluded from the fingerprint itself *)
+  derived_memo : derived option Atomic.t;
+      (** internal memo backing the derived-data accessors; like
+          [fingerprint_memo], not a design parameter. The whole record is
+          filled in one shot, so any two designs both touched by any
+          accessor carry structurally equal memo states — which keeps the
+          byte-identity test suites honest when designs are marshaled. *)
 }
 
 val make :
@@ -34,6 +47,14 @@ val make :
   ?background:(string * Demand.labeled list) list ->
   unit ->
   t
+
+val strip : t -> t
+(** A structurally equal copy with empty memo fields: same fingerprint,
+    same behaviour, but none of the derived data retained. Long-lived
+    accumulators (e.g. a streaming search's bounded frontier) hold stripped
+    copies so that per-design scratch data does not pile up in the live
+    set; accessors on the copy simply recompute (and re-memoize) on
+    demand. *)
 
 val primary_raid : t -> Raid.t
 (** RAID organization of the primary array (from the level-0 technique). *)
@@ -60,20 +81,39 @@ val loaded_demands_on : t -> Device.t -> Demand.labeled list
 (** {!demands_on} plus any background demands registered for the device:
     the full load the hardware actually carries. *)
 
+val device_utilization : t -> Device.t -> Device.utilization
+(** [Device.utilization dev (loaded_demands_on t dev)], memoized per
+    design: the normal-mode utilization the evaluation, validation and
+    lint layers all need for every device. *)
+
 val link_demand : t -> Interconnect.t -> Rate.t
 (** Sustained normal-mode bandwidth demand on an interconnect. *)
+
+val worst_lag : t -> int -> Duration.t
+(** Memoized {!Storage_hierarchy.Hierarchy.worst_lag} of the design's
+    hierarchy. Raises [Invalid_argument] on an out-of-range level. *)
+
+val guaranteed_range : t -> int -> Age_range.t option
+(** Memoized {!Storage_hierarchy.Hierarchy.guaranteed_range}. *)
+
+val rp_interval_min : t -> int -> Duration.t
+(** Memoized {!Storage_protection.Schedule.rp_interval_min} of the level's
+    schedule; {!Duration.zero} for level 0 (the primary has no schedule). *)
 
 val primary_technique_of_device : t -> Device.t -> string
 (** Name of the technique that "owns" a device for cost allocation
     (§3.3.5): the lowest hierarchy level hosted on it. *)
 
 val fingerprint : t -> string
-(** A canonical hex digest of the design's entire structure (workload,
-    hierarchy, business requirements, background load). Structurally equal
-    designs always share a fingerprint, however they were constructed;
-    designs differing in any parameter (almost surely) do not. Used with
-    {!Scenario.fingerprint} to key the evaluation memo-cache
-    ({!Eval_cache}). *)
+(** A canonical 128-bit hex key over the design's entire structure
+    (workload, hierarchy, business requirements, background load), computed
+    by an allocation-light {!Storage_units.Struct_hash} walk (no Marshal
+    round-trip) and memoized. Structurally equal designs always share a
+    fingerprint, however they were constructed; designs differing in any
+    parameter (almost surely) do not. Used with {!Scenario.fingerprint} to
+    key the evaluation memo-cache ({!Eval_cache}) — and computed only when
+    such a cache is actually in play: nothing on the cache-less evaluation
+    path calls it. *)
 
 val validate : t -> (unit, string list) result
 (** Full design validation: hierarchy warnings are not errors, but the

@@ -24,8 +24,20 @@ let t_data_loss = Storage_obs.Timer.make "evaluate.stage.data_loss"
 let t_recovery = Storage_obs.Timer.make "evaluate.stage.recovery_time"
 let t_cost = Storage_obs.Timer.make "evaluate.stage.cost"
 
-let run design scenario =
-  Storage_obs.Timer.time t_run @@ fun () ->
+(* The scenario-independent stages — validation, normal-mode utilization,
+   outlays — are hoisted into [prepare] and computed once per design;
+   [run_prepared] then adds the per-scenario stages (data loss, recovery,
+   penalties). Evaluating one design under several scenarios (the common
+   case: every search sweep runs 2-3 failure scopes) shares the prepared
+   half instead of recomputing it per scenario. *)
+type prepared = {
+  design : Design.t;
+  validation_errors : string list;
+  utilization : Utilization.report;
+  outlays : Cost.outlays;
+}
+
+let prepare design =
   let validation_errors =
     match Design.validate design with Ok () -> [] | Error es -> es
   in
@@ -33,6 +45,16 @@ let run design scenario =
     Storage_obs.Timer.time t_utilization (fun () ->
         Utilization.compute design)
   in
+  let outlays =
+    Storage_obs.Timer.time t_cost (fun () -> Cost.outlays design)
+  in
+  { design; validation_errors; utilization; outlays }
+
+let run_prepared p scenario =
+  Storage_obs.Timer.time t_run @@ fun () ->
+  let design = p.design in
+  let validation_errors = p.validation_errors in
+  let utilization = p.utilization in
   let data_loss =
     Storage_obs.Timer.time t_data_loss (fun () ->
         Data_loss.compute design scenario)
@@ -53,11 +75,10 @@ let run design scenario =
     | None -> Duration.zero
   in
   let business = design.Design.business in
-  let penalties, outlays =
+  let outlays = p.outlays in
+  let penalties =
     Storage_obs.Timer.time t_cost (fun () ->
-        ( Cost.penalties business ~recovery_time
-            ~loss:data_loss.Data_loss.loss,
-          Cost.outlays design ))
+        Cost.penalties business ~recovery_time ~loss:data_loss.Data_loss.loss)
   in
   let meets objective value =
     Option.map (fun bound -> Duration.compare value bound <= 0) objective
@@ -86,7 +107,11 @@ let run design scenario =
     errors = validation_errors @ recovery_errors;
   }
 
-let run_all design scenarios = List.map (run design) scenarios
+let run design scenario = run_prepared (prepare design) scenario
+
+let run_all design scenarios =
+  let p = prepare design in
+  List.map (run_prepared p) scenarios
 
 let pp_summary ppf r =
   Fmt.pf ppf "%-24s %-16s RT %-10s DL %-10s pen %-9s total %s" r.design_name

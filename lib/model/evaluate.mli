@@ -30,7 +30,17 @@ val run : Design.t -> Scenario.t -> report
 
 val run_all : Design.t -> Scenario.t list -> report list
 (** Convenience: evaluate the same design under several scenarios (the
-    case-study tables evaluate object / array / site in one sweep). *)
+    case-study tables evaluate object / array / site in one sweep). The
+    scenario-independent stages are computed once and shared. *)
+
+type prepared
+(** The scenario-independent half of an evaluation: validation, normal-mode
+    utilization and outlays, which depend only on the design. *)
+
+val prepare : Design.t -> prepared
+val run_prepared : prepared -> Scenario.t -> report
+(** [run_prepared (prepare d) sc] is {!run}[ d sc]; preparing once and
+    running many scenarios skips the recomputation {!run} would do. *)
 
 val pp : report Fmt.t
 val pp_summary : report Fmt.t

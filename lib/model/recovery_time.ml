@@ -94,7 +94,10 @@ let compute design scenario ~source_level =
           if is_shipment then Ok (Duration.zero, None)
           else begin
             let avail d =
-              Device.available_bandwidth d (Design.loaded_demands_on design d)
+              (* [Device.available_bandwidth] via the per-design
+                 utilization memo. *)
+              Rate.sub (Device.max_bandwidth d)
+                (Design.device_utilization design d).Device.bandwidth_used
             in
             let src_bw = avail la.Hierarchy.device
             and dst_bw = avail lb.Hierarchy.device in

@@ -18,8 +18,27 @@ let make ~scope ?(target_age = Duration.zero) ?object_size () =
 
 let now scope = make ~scope ()
 
+(* Structural hash mirroring [Design.fingerprint]: a scenario is a handful
+   of leaves, so the walk costs a few dozen nanoseconds per cache lookup
+   and needs no memo. *)
+let rec hash_scope h (s : Location.scope) =
+  let module H = Struct_hash in
+  match s with
+  | Location.Data_object -> H.int h 0
+  | Location.Device n -> H.string (H.int h 1) n
+  | Location.Building n -> H.string (H.int h 2) n
+  | Location.Site n -> H.string (H.int h 3) n
+  | Location.Region n -> H.string (H.int h 4) n
+  | Location.Multiple ss -> H.list hash_scope (H.int h 5) ss
+
 let fingerprint t =
-  Digest.to_hex (Digest.string (Marshal.to_string t [ Marshal.No_sharing ]))
+  let module H = Struct_hash in
+  let h = hash_scope H.init t.scope in
+  let h = H.float h (Duration.to_seconds t.target_age) in
+  let h =
+    H.option (fun h s -> H.float h (Size.to_bytes s)) h t.object_size
+  in
+  H.to_hex h
 
 let pp ppf t =
   Fmt.pf ppf "%a, target now - %a%a" Location.pp_scope t.scope Duration.pp

@@ -44,7 +44,7 @@ let device_report design dev =
              capacity_fraction = Size.ratio demand.Demand.capacity dev_cap;
            })
   in
-  { device = dev; shares; total = Device.utilization dev labeled }
+  { device = dev; shares; total = Design.device_utilization design dev }
 
 let links design =
   let seen = Hashtbl.create 4 in

@@ -77,118 +77,146 @@ let scaled_space ~scale =
       mirror_links = [ 1; 2; 3; 4; 6; 8; 10 ];
     }
 
+(* The inner loop of [tape_designs] runs once per grid point, so anything
+   that varies along only one axis — schedules, hierarchy-level records,
+   name fragments — is precomputed per axis value and shared across every
+   combination it appears in. Besides the construction time, the sharing
+   keeps long-lived design accumulators (Pareto fronts, top-k sets) from
+   retaining a private copy of each schedule per design. The axis tables
+   are rebuilt at most once per traversal of the returned sequence, inside
+   the first forced cell, preserving [enumerate]'s laziness. *)
 let tape_designs kit space =
-  let ( let* ) xs f = Seq.concat_map f (List.to_seq xs) in
-  let* pit_kind = space.pit_techniques in
-  let* pit_acc = space.pit_accumulations in
-  let* pit_ret = space.pit_retentions in
-  let* backup_acc = space.backup_accumulations in
-  Seq.filter_map
-    (fun vault_acc ->
-      let pit_schedule =
-        Schedule.simple ~acc:pit_acc ~retention_count:pit_ret ()
-      in
-      let pit_technique =
-        match pit_kind with
-        | `Split_mirror -> Technique.Split_mirror pit_schedule
-        | `Snapshot -> Technique.Virtual_snapshot pit_schedule
-      in
-      let backup_prop =
-        Duration.min (Duration.scale 0.5 backup_acc) (Duration.hours 48.)
-      in
-      let backup_schedule =
-        Schedule.simple ~acc:backup_acc ~prop:backup_prop
-          ~hold:(Duration.hours 1.)
-          ~retention_count:
-            (retention_for ~horizon:space.backup_retention_horizon
-               ~cycle:backup_acc)
-          ()
-      in
-      let vault_schedule =
-        Schedule.simple ~acc:vault_acc
-          ~prop:(Duration.hours 24.)
-          ~hold:(Duration.hours 12.)
-          ~retention_count:
-            (retention_for ~horizon:space.vault_retention_horizon
-               ~cycle:vault_acc)
-          ()
-      in
-      let name =
-        Printf.sprintf "%s/%s x%d, backup/%s, vault/%s"
-          (match pit_kind with
-          | `Split_mirror -> "mirror"
-          | `Snapshot -> "snap")
-          (label_duration pit_acc) pit_ret
-          (label_duration backup_acc)
-          (label_duration vault_acc)
-      in
-      match
-        Hierarchy.make
-          [
-            {
-              Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
-              device = kit.primary;
-              link = None;
-            };
-            {
-              technique = pit_technique;
-              device = kit.primary;
-              link = None;
-            };
-            {
-              technique = Technique.Backup backup_schedule;
+  fun () ->
+    let primary_level =
+      {
+        Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+        device = kit.primary;
+        link = None;
+      }
+    in
+    let backups =
+      List.map
+        (fun backup_acc ->
+          let backup_prop =
+            Duration.min (Duration.scale 0.5 backup_acc) (Duration.hours 48.)
+          in
+          let backup_schedule =
+            Schedule.simple ~acc:backup_acc ~prop:backup_prop
+              ~hold:(Duration.hours 1.)
+              ~retention_count:
+                (retention_for ~horizon:space.backup_retention_horizon
+                   ~cycle:backup_acc)
+              ()
+          in
+          ( {
+              Hierarchy.technique = Technique.Backup backup_schedule;
               device = kit.tape_library;
               link = Some kit.san;
-            };
-            {
-              technique = Technique.Vaulting vault_schedule;
+            },
+            label_duration backup_acc ))
+        space.backup_accumulations
+    in
+    let vaults =
+      List.map
+        (fun vault_acc ->
+          let vault_schedule =
+            Schedule.simple ~acc:vault_acc
+              ~prop:(Duration.hours 24.)
+              ~hold:(Duration.hours 12.)
+              ~retention_count:
+                (retention_for ~horizon:space.vault_retention_horizon
+                   ~cycle:vault_acc)
+              ()
+          in
+          ( {
+              Hierarchy.technique = Technique.Vaulting vault_schedule;
               device = kit.vault;
               link = Some kit.shipment;
-            };
-          ]
-      with
-      | Error _ -> None
-      | Ok hierarchy ->
-        let design =
-          Design.make ~name ~workload:kit.workload ~hierarchy
-            ~business:kit.business ()
-        in
-        if Design.validate design = Ok () then Some design else None)
-    (List.to_seq space.vault_accumulations)
+            },
+            label_duration vault_acc ))
+        space.vault_accumulations
+    in
+    let ( let* ) xs f = Seq.concat_map f (List.to_seq xs) in
+    (let* pit_kind = space.pit_techniques in
+     let pit_prefix =
+       match pit_kind with `Split_mirror -> "mirror" | `Snapshot -> "snap"
+     in
+     let* pit_acc = space.pit_accumulations in
+     let pit_label = label_duration pit_acc in
+     let* pit_ret = space.pit_retentions in
+     let pit_schedule =
+       Schedule.simple ~acc:pit_acc ~retention_count:pit_ret ()
+     in
+     let pit_technique =
+       match pit_kind with
+       | `Split_mirror -> Technique.Split_mirror pit_schedule
+       | `Snapshot -> Technique.Virtual_snapshot pit_schedule
+     in
+     let pit_level =
+       { Hierarchy.technique = pit_technique; device = kit.primary; link = None }
+     in
+     let pit_name =
+       pit_prefix ^ "/" ^ pit_label ^ " x" ^ string_of_int pit_ret
+       ^ ", backup/"
+     in
+     let* backup_level, backup_label = backups in
+     let backup_name = pit_name ^ backup_label ^ ", vault/" in
+     Seq.filter_map
+       (fun (vault_level, vault_label) ->
+         let name = backup_name ^ vault_label in
+         match
+           Hierarchy.make
+             [ primary_level; pit_level; backup_level; vault_level ]
+         with
+         | Error _ -> None
+         | Ok hierarchy ->
+           let design =
+             Design.make ~name ~workload:kit.workload ~hierarchy
+               ~business:kit.business ()
+           in
+           if Design.validate design = Ok () then Some design else None)
+       (List.to_seq vaults))
+      ()
 
 let mirror_designs kit space =
-  Seq.filter_map
-    (fun links ->
-      let schedule =
-        Schedule.simple ~acc:(Duration.minutes 1.) ~prop:(Duration.minutes 1.)
-          ~retention_count:1 ()
-      in
-      match
-        Hierarchy.make
-          [
-            {
-              Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
-              device = kit.primary;
-              link = None;
-            };
-            {
-              technique =
-                Technique.Remote_mirror
-                  { mode = Technique.Asynchronous_batch; schedule };
-              device = kit.remote_array;
-              link = Some (kit.wan links);
-            };
-          ]
-      with
-      | Error _ -> None
-      | Ok hierarchy ->
-        let design =
-          Design.make
-            ~name:(Printf.sprintf "asyncB mirror x%d" links)
-            ~workload:kit.workload ~hierarchy ~business:kit.business ()
-        in
-        if Design.validate design = Ok () then Some design else None)
-    (List.to_seq space.mirror_links)
+  fun () ->
+    let schedule =
+      Schedule.simple ~acc:(Duration.minutes 1.) ~prop:(Duration.minutes 1.)
+        ~retention_count:1 ()
+    in
+    let primary_level =
+      {
+        Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+        device = kit.primary;
+        link = None;
+      }
+    in
+    let mirror_technique =
+      Technique.Remote_mirror { mode = Technique.Asynchronous_batch; schedule }
+    in
+    Seq.filter_map
+      (fun links ->
+        match
+          Hierarchy.make
+            [
+              primary_level;
+              {
+                technique = mirror_technique;
+                device = kit.remote_array;
+                link = Some (kit.wan links);
+              };
+            ]
+        with
+        | Error _ -> None
+        | Ok hierarchy ->
+          let design =
+            Design.make
+              ~name:("asyncB mirror x" ^ string_of_int links)
+              ~workload:kit.workload ~hierarchy ~business:kit.business ()
+          in
+          if Design.validate design = Ok () then Some design else None)
+      (List.to_seq space.mirror_links)
+      ()
 
 let enumerate kit space =
   Seq.append (tape_designs kit space) (mirror_designs kit space)

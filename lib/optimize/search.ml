@@ -105,9 +105,28 @@ let run ?engine ?top_k candidates scenarios =
        make peak memory scale with the grid. The few survivors are
        re-summarized at the end: evaluation is pure, so the rebuilt
        reports are the very ones the fold dropped. *)
-    let slim s = if keep_all then s else { s with Objective.reports = [] } in
+    let slim s =
+      if keep_all then s
+      else
+        (* Dropping the design's memoized derived data matters as much as
+           dropping the reports: a design that has been evaluated carries
+           its placements, per-device utilizations and lag tables, several
+           times its own size. The stripped copy recomputes on demand. *)
+        { s with
+          Objective.reports = [];
+          design = Design.strip s.Objective.design }
+    in
     let rehydrate s =
-      if keep_all then s else Objective.summarize ~engine s.Objective.design scenarios
+      if keep_all then s
+      else begin
+        let s = Objective.summarize ~engine s.Objective.design scenarios in
+        (* When every scenario hits the cache the stripped design is never
+           re-evaluated, leaving its memos empty; force them so surviving
+           designs are indistinguishable — marshaled bytes included — from
+           ones summarized directly. *)
+        ignore (Design.validate s.Objective.design);
+        s
+      end
     in
     let evaluated_rev = ref [] in
     let feasible_acc = ref [] in

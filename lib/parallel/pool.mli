@@ -54,13 +54,20 @@ val map_on : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
     [f] as described above. Lists of length [<= 1] are mapped inline in
     the calling domain. *)
 
-val map_seq : ?window:int -> t -> ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
+val map_seq :
+  ?window:int -> ?chunk:int -> t -> ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
 (** [map_seq pool f xs] is [Seq.map f xs] computed on the pool's domains:
     the input is consumed in windows of [?window] elements (default
-    [32 * jobs]), each window is dispatched as a [map_on] batch, and the
-    results are yielded in input order before the next window is read.
-    Peak live memory is O(window) however long [xs] is, so a
+    [512 * jobs]), each window is dispatched as a [map_on] batch of
+    contiguous [?chunk]-element tasks (default
+    [min (window / (2 * jobs)) (len / jobs)] for a [len]-element batch:
+    chunks of hundreds of evaluations on full windows, finer on a short
+    tail so no domain idles), and the results are yielded in input order
+    before the next window is read. Peak live memory is O(window) however long [xs] is, so a
     million-element grid streams through a constant-size working set.
+    Coarse chunks are what make fine-grained workloads scale: one queue
+    task per element would spend more time under the queue mutex than in
+    [f] when [f] runs in microseconds.
 
     Forcing the first element of a window runs the whole window; an
     exception raised by [f] propagates when its window is forced (the
@@ -68,7 +75,7 @@ val map_seq : ?window:int -> t -> ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
     all earlier windows' results have been yielded. The returned sequence
     re-maps on re-traversal, so it is persistent iff [xs] is persistent
     and [f] is pure (every [f] this library is used with is pure).
-    Raises [Invalid_argument] when [window < 1]. *)
+    Raises [Invalid_argument] when [window < 1] or [chunk < 1]. *)
 
 val map : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [map ~jobs f xs] creates a pool, maps, and shuts

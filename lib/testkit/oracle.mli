@@ -27,8 +27,8 @@ type t = {
 val defaults : t list
 (** The production registry, cheapest first: [lint-coincidence],
     [cache-invariance], [stream-vs-materialized], [parallel-invariance],
-    [monotone-shorter-window], [monotone-bandwidth], [monotone-cost],
-    [analytic-vs-sim]. *)
+    [chunk-invariance], [monotone-shorter-window], [monotone-bandwidth],
+    [monotone-cost], [analytic-vs-sim]. *)
 
 val all : t list
 (** {!defaults} plus [self-test-fail], which fails on every case and

@@ -9,6 +9,7 @@ The oracle registry:
   cache-invariance         Eval_cache.run is byte-identical to Evaluate.run, and a cache hit returns the physically stored report
   stream-vs-materialized   Search.run (streaming, engine) is byte-identical to the legacy materialized loop on the case's singleton grid
   parallel-invariance      Objective.summarize and Search.run are byte-identical between a serial and a multi-domain engine
+  chunk-invariance         Search.run over a replicated grid is byte-identical to serial for forced chunk sizes 1, 7, the pool window and one past the grid
   monotone-shorter-window  halving a level's accumulation window never worsens now-target data loss (shorter backup windows mean fresher retrieval points)
   monotone-bandwidth       doubling every device's bandwidth never worsens recovery time
   monotone-cost            outlays are monotone in workload capacity (2x growth)
@@ -71,7 +72,7 @@ what lets a demonstration counterexample live in the checked-in corpus
 without breaking CI:
 
   $ ssdep fuzz --seed 7 --budget 0 --corpus corpus1
-  fuzz: seed 0x7, budget 0, 8 oracles
+  fuzz: seed 0x7, budget 0, 9 oracles
   findings: 0
 
 Usage errors exit 2:

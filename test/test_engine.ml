@@ -31,7 +31,7 @@ let test_create_invalid () =
       Engine.create ~cache_bound:0 ())
 
 let test_of_cli_bounded () =
-  let e = Engine.of_cli ~jobs:2 ~stats:false in
+  let e = Engine.of_cli ~jobs:2 ~stats:false () in
   Alcotest.(check int) "jobs" 2 (Engine.jobs e);
   Alcotest.(check bool) "cache is bounded" true
     (Engine.cache_bound e <> None);

@@ -355,6 +355,53 @@ let prop_errors_iff_evaluation_errors =
           lint_clean = eval_clean)
         eval_scenarios)
 
+(* [Lint.accepts] is a decomposed fast path (validate + the E014/E015
+   finiteness checks, no diagnostic construction); it must stay
+   extensionally equal to "no errors in [check_design]" — on clean
+   designs and on designs corrupted along every error axis the
+   decomposition special-cases. *)
+let test_accepts_equals_check_design () =
+  let agrees name d =
+    Alcotest.(check bool)
+      (name ^ ": accepts = no check_design errors")
+      (Lint.errors (Lint.check_design d) = [])
+      (Lint.accepts d)
+  in
+  List.iter (fun (d : Design.t) -> agrees d.Design.name d) pool;
+  List.iter
+    (fun (name, d) -> agrees name d)
+    [
+      ( "E010 capacity overcommit",
+        design ~workload:(wl ~cap:(Size.gib 2000.) ()) [ prim (arr ()) ] );
+      ( "E011 bandwidth overcommit",
+        design
+          ~workload:(wl ~access:(Rate.mib_per_sec 400.) ())
+          [ prim (arr ()) ] );
+      ( "E012 missing link",
+        design [ prim (arr ()); mirror (arr ~name:"rem" ~loc:away ()) None ] );
+      ( "E013 thin link",
+        design
+          [ prim (arr ());
+            mirror (arr ~name:"rem" ~loc:away ()) (Some (net "thin" 100.)) ] );
+      ( "E014 non-finite burst",
+        design ~workload:(wl ~burst:infinity ()) [ prim (arr ()) ] );
+      ( "E014 NaN burst",
+        design ~workload:(wl ~burst:Float.nan ()) [ prim (arr ()) ] );
+      ( "E015 NaN device cost",
+        design
+          [ prim (arr ~cost:(Cost_model.make ~per_gib:Float.nan ()) ()) ] );
+      ( "E015 NaN link cost",
+        design
+          [ prim (arr ());
+            backup (tape ())
+              (Interconnect.make ~name:"san-nan"
+                 ~transport:
+                   (Interconnect.Network
+                      { link_bandwidth = Rate.mib_per_sec 256.; links = 8 })
+                 ~cost:(Cost_model.make ~per_shipment:Float.nan ())
+                 ()) ] );
+    ]
+
 (* --- the search pre-filter --- *)
 
 let overcommitted_candidate =
@@ -471,6 +518,8 @@ let suite =
         Alcotest.test_case "portfolio pre-filter" `Quick test_portfolio_prunes;
         Alcotest.test_case "exit codes" `Quick test_exit_codes;
         Alcotest.test_case "stable diagnostic order" `Quick test_stable_order;
+        Alcotest.test_case "accepts = no check_design errors" `Quick
+          test_accepts_equals_check_design;
         qcheck prop_accepts_iff_validates;
         qcheck prop_errors_iff_evaluation_errors;
       ] );

@@ -131,6 +131,90 @@ let test_shutdown_idempotent () =
   Pool.shutdown p
 
 (* ------------------------------------------------------------------ *)
+(* Pool.map_seq chunked scheduling *)
+
+let seq_of_list xs = List.to_seq xs
+
+let test_map_seq_empty () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check (list int))
+        "empty input, empty output" []
+        (List.of_seq (Pool.map_seq p square Seq.empty)))
+
+let test_map_seq_chunk_exceeds_input () =
+  (* A chunk far larger than the input degenerates to one task; results
+     and order are unchanged. *)
+  let xs = List.init 10 Fun.id in
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check (list int))
+        "chunk=1000 over 10 elements" (List.map square xs)
+        (List.of_seq (Pool.map_seq ~chunk:1000 p square (seq_of_list xs))))
+
+let test_map_seq_chunk_one_equivalence () =
+  (* chunk=1 is one task per element — the pre-batching schedule. It must
+     compute exactly what every other granularity computes. *)
+  let xs = List.init 137 (fun i -> i - 5) in
+  let expected = List.map square xs in
+  Pool.with_pool ~jobs:4 (fun p ->
+      List.iter
+        (fun (label, result) ->
+          Alcotest.(check (list int)) label expected (List.of_seq result))
+        [
+          ("chunk=1", Pool.map_seq ~chunk:1 p square (seq_of_list xs));
+          ("chunk=7", Pool.map_seq ~chunk:7 p square (seq_of_list xs));
+          ( "chunk=window",
+            Pool.map_seq ~window:32 ~chunk:32 p square (seq_of_list xs) );
+          ( "chunk>n",
+            Pool.map_seq ~chunk:(List.length xs + 1) p square (seq_of_list xs)
+          );
+          ("auto", Pool.map_seq p square (seq_of_list xs));
+        ])
+
+let test_map_seq_exception_mid_chunk_first_wins () =
+  (* The raising element sits mid-chunk with clean elements on both
+     sides, across several chunk granularities: the sole exception is
+     the one the caller sees, and it surfaces when the window is forced. *)
+  let n = 40 in
+  let boom x = if x = 17 then failwith "seventeen" else x in
+  Pool.with_pool ~jobs:4 (fun p ->
+      List.iter
+        (fun chunk ->
+          match
+            List.of_seq (Pool.map_seq ~chunk p boom (seq_of_list (List.init n Fun.id)))
+          with
+          | _ -> Alcotest.fail "expected Failure"
+          | exception Failure msg ->
+            Alcotest.(check string)
+              (Printf.sprintf "chunk=%d" chunk)
+              "seventeen" msg)
+        [ 1; 7; 40; 1000 ];
+      (* Everything raises: first input index wins within the window. *)
+      match
+        List.of_seq
+          (Pool.map_seq ~window:8 ~chunk:8 p
+             (fun i : int -> failwith (string_of_int i))
+             (seq_of_list (List.init n Fun.id)))
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> Alcotest.(check string) "first wins" "0" msg)
+
+let test_map_seq_windows_are_lazy () =
+  (* Forcing the head evaluates exactly one window, chunked or not. *)
+  let calls = Atomic.make 0 in
+  Pool.with_pool ~jobs:2 (fun p ->
+      let out =
+        Pool.map_seq ~window:8 ~chunk:3 p
+          (fun x ->
+            Atomic.incr calls;
+            x * 2)
+          (seq_of_list (List.init 100 Fun.id))
+      in
+      (match out () with
+      | Seq.Cons (y, _) -> Alcotest.(check int) "head" 0 y
+      | Seq.Nil -> Alcotest.fail "expected a head");
+      Alcotest.(check int) "one window evaluated" 8 (Atomic.get calls))
+
+(* ------------------------------------------------------------------ *)
 (* Memo *)
 
 let test_memo_computes_once () =
@@ -182,6 +266,62 @@ let test_fingerprint_structural () =
     "distinct designs, distinct fingerprints" (List.length fps)
     (List.length distinct)
 
+let prop_equal_designs_hash_equal =
+  (* Two independent constructions of the same design — the seeded pool
+     entry and a stripped (memo-less) rescale of it — always share a
+     fingerprint, whatever the index and growth factor. *)
+  let pool = Storage_testkit.Seeded.lint_pool () in
+  QCheck.Test.make ~name:"equal designs hash equal" ~count:200
+    (QCheck.pair QCheck.(int_range 0 1000) QCheck.(float_range 0.25 64.))
+    (fun (i, factor) ->
+      let d = List.nth pool (i mod List.length pool) in
+      let a = Storage_testkit.Seeded.scaled ~factor d in
+      let b = Storage_testkit.Seeded.scaled ~factor (Design.strip d) in
+      String.equal (Design.fingerprint a) (Design.fingerprint b))
+
+let test_fingerprint_collision_smoke () =
+  (* No collisions across every distinct design the seeded generators
+     produce: the enumerated pool, the lint pool and a fan of scaled
+     variants. A 128-bit structural hash colliding here would be a walk
+     bug (a skipped leaf), not bad luck. *)
+  let scaled_fan =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun factor -> Storage_testkit.Seeded.scaled ~factor d)
+          [ 0.5; 2.; 3. ])
+      pool_designs
+  in
+  let designs =
+    pool_designs @ Storage_testkit.Seeded.lint_pool () @ scaled_fan
+  in
+  (* Structurally equal duplicates across sources are expected; count
+     unique structures via their marshaled bytes. *)
+  let structures =
+    List.sort_uniq String.compare
+      (List.map (fun d -> bytes_of (Design.strip d)) designs)
+  in
+  let fps =
+    List.sort_uniq String.compare (List.map Design.fingerprint designs)
+  in
+  Alcotest.(check int)
+    "distinct structures = distinct fingerprints" (List.length structures)
+    (List.length fps)
+
+let test_fingerprint_pinned () =
+  (* The cache key is a persistent artifact (corpus files, future
+     on-disk caches): its value for a fixed design must not drift across
+     PRs. If this fails, the hash walk changed — bump cache versions and
+     re-pin deliberately. *)
+  Alcotest.(check string)
+    "Struct_hash primitive walk"
+    "eea3eae7674b0503b3c3266b2efa3f90"
+    Storage_units.Struct_hash.(
+      to_hex (string (float (int init 2004) 1.5) "ssdep"));
+  Alcotest.(check string)
+    "baseline design fingerprint" "bb74638cff39f5d89aa15379e0c9b8e3"
+    (Design.fingerprint Baseline.design)
+
 let test_scenario_fingerprint_distinct () =
   Alcotest.(check bool)
     "array vs site scenarios differ" false
@@ -209,6 +349,32 @@ let test_search_parallel_equals_serial () =
   check_same_bytes "feasible" serial.Search.feasible par.Search.feasible;
   check_same_bytes "frontier" serial.Search.frontier par.Search.frontier;
   check_same_bytes "best" serial.Search.best par.Search.best
+
+let test_search_chunk_invariance () =
+  (* The ISSUE-6 contract behind the chunk-invariance oracle: forced
+     scheduling granularities {1, 7, the window, > n} over the 200
+     seeded designs are all byte-identical to the serial run. *)
+  let serial =
+    Engine.with_engine ~jobs:1 (fun engine ->
+        Search.run ~engine (List.to_seq seeded_candidates) scenarios)
+  in
+  let n = List.length seeded_candidates in
+  List.iter
+    (fun chunk ->
+      let chunked =
+        let engine = Engine.create ~jobs:4 ~chunk () in
+        Fun.protect
+          ~finally:(fun () -> Engine.shutdown engine)
+          (fun () ->
+            Search.run ~engine (List.to_seq seeded_candidates) scenarios)
+      in
+      let label = Printf.sprintf "chunk=%d" chunk in
+      check_same_bytes (label ^ " evaluated") serial.Search.evaluated
+        chunked.Search.evaluated;
+      check_same_bytes (label ^ " frontier") serial.Search.frontier
+        chunked.Search.frontier;
+      check_same_bytes (label ^ " best") serial.Search.best chunked.Search.best)
+    [ 1; 7; 512 * 4; n + 1 ]
 
 let test_search_shared_cache_equals_fresh () =
   (* The engine's session cache carried across searches changes nothing
@@ -317,6 +483,14 @@ let suite =
         t "pool reused across many batches" test_pool_reuse_many_batches;
         t "shutdown is idempotent" test_shutdown_idempotent;
       ] );
+    ( "parallel_map_seq",
+      [
+        t "empty sequence" test_map_seq_empty;
+        t "chunk larger than input" test_map_seq_chunk_exceeds_input;
+        t "chunk=1 and every granularity agree" test_map_seq_chunk_one_equivalence;
+        t "exception mid-chunk: first wins" test_map_seq_exception_mid_chunk_first_wins;
+        t "windows are lazy under chunking" test_map_seq_windows_are_lazy;
+      ] );
     ( "parallel_memo",
       [
         t "computes once, then hits" test_memo_computes_once;
@@ -326,10 +500,16 @@ let suite =
     ( "parallel_engine",
       [
         t "fingerprints are structural" test_fingerprint_structural;
+        Helpers.qcheck prop_equal_designs_hash_equal;
+        t "fingerprint collision smoke over the seeded pools"
+          test_fingerprint_collision_smoke;
+        t "fingerprint pinned values" test_fingerprint_pinned;
         t "scenario fingerprints distinguish scenarios"
           test_scenario_fingerprint_distinct;
         t "search: 4 domains byte-identical to serial (200 seeded designs)"
           test_search_parallel_equals_serial;
+        t "search: chunk sizes {1,7,window,>n} byte-identical to serial"
+          test_search_chunk_invariance;
         t "search: shared session cache changes nothing"
           test_search_shared_cache_equals_fresh;
         t "eval cache returns the very report evaluation would"
