@@ -29,6 +29,10 @@ type tier = {
       (** ceiling on peak [Gc.live_words] of the monitored serial
           streaming search (bounded cache), the O(window + frontier)
           memory contract *)
+  min_serve_warm_speedup : float;
+      (** floor on cold single-shot `ssdep evaluate` wall time over the
+          daemon's warm-cache /evaluate p50; the gate auto-skips when
+          [SSDEP_BIN] is not set (no CLI binary to time) *)
 }
 
 (* ~2k candidates: fast enough for every `dune runtest`, coarse floors
@@ -41,6 +45,7 @@ let smoke =
     min_candidates_per_sec = 20_000.;
     min_parallel_speedup = 1.0;
     max_peak_live_words = 450_000;
+    min_serve_warm_speedup = 1.5;
   }
 
 (* The 131k-candidate sweep of BENCH_stream.json (scale 8): the nightly
@@ -54,4 +59,5 @@ let full =
     min_candidates_per_sec = 50_000.;
     min_parallel_speedup = 2.0;
     max_peak_live_words = 650_000;
+    min_serve_warm_speedup = 2.0;
   }

@@ -10,6 +10,7 @@
      dune exec bench/main.exe micro           # micro-benchmarks only
      dune exec bench/main.exe parallel        # multicore engine benchmark
      dune exec bench/main.exe stream          # streaming-pipeline memory bench
+     dune exec bench/main.exe serve           # evaluation-service load gen
 
    The parallel mode times the design-space search over a few hundred
    generated candidates — serial versus 2/4/8-domain Pool evaluation, and
@@ -710,6 +711,211 @@ let stream_bench () =
   print_endline "  wrote BENCH_stream.json";
   if not (identical && within_2x) then exit 1
 
+(* --- evaluation-service load generator --- *)
+
+(* [bench/main.exe serve]: start an in-process daemon on an ephemeral
+   port, hammer /evaluate from N concurrent client domains, and report
+   p50/p99 latency and throughput against the cold single-shot cost of
+   spawning `ssdep evaluate --json` per request (binary located via
+   SSDEP_BIN). Writes BENCH_serve.json. The same measurement backs the
+   serve-warm-speedup gate of [--check]. *)
+
+(* One request per connection, mirroring the server's
+   [Connection: close] discipline. Returns (status, body). *)
+let http_request ~port ~meth ~path ~body =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %d\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let bytes = Bytes.of_string req in
+      let n = Bytes.length bytes in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write fd bytes !off (n - !off)
+      done;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let got = Unix.read fd chunk 0 4096 in
+        if got > 0 then begin
+          Buffer.add_subbytes buf chunk 0 got;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        (* "HTTP/1.1 NNN ..." *)
+        if String.length raw >= 12 then
+          Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
+        else 0
+      in
+      let body =
+        let n = String.length raw in
+        let rec find i =
+          if i + 4 > n then ""
+          else if String.sub raw i 4 = "\r\n\r\n" then
+            String.sub raw (i + 4) (n - i - 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      (status, body))
+
+(* The workhorse request body: the baseline case study with its two
+   hardware-failure scenarios, rendered in the design language. *)
+let serve_body =
+  lazy
+    (match
+       Storage_spec.Spec.design_to_string
+         ~scenarios:
+           [
+             ("array failure", Baseline.scenario_array);
+             ("site disaster", Baseline.scenario_site);
+           ]
+         Baseline.design
+     with
+    | Ok text -> text
+    | Error e -> failwith ("cannot render baseline design: " ^ e))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(int_of_float (q *. float_of_int (n - 1)))
+
+type serve_load = {
+  clients : int;
+  per_client : int;
+  p50 : float;
+  p99 : float;
+  throughput : float;  (** requests per second, all clients together *)
+  failures : int;  (** non-200 responses *)
+}
+
+let serve_load ~port ~clients ~per_client =
+  let body = Lazy.force serve_body in
+  (* Warm the cache (and the code paths) outside the measurement. *)
+  ignore (http_request ~port ~meth:"POST" ~path:"/evaluate" ~body);
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            Array.init per_client (fun _ ->
+                let t = Unix.gettimeofday () in
+                let status, _ =
+                  http_request ~port ~meth:"POST" ~path:"/evaluate" ~body
+                in
+                (Unix.gettimeofday () -. t, status))))
+  in
+  let samples = List.concat_map (fun d -> Array.to_list (Domain.join d)) domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let latencies =
+    Array.of_list (List.map fst samples)
+  in
+  Array.sort compare latencies;
+  {
+    clients;
+    per_client;
+    p50 = percentile latencies 0.50;
+    p99 = percentile latencies 0.99;
+    throughput = float_of_int (clients * per_client) /. wall;
+    failures =
+      List.length (List.filter (fun (_, status) -> status <> 200) samples);
+  }
+
+(* Wall time of one cold `ssdep evaluate --file ... --json` — process
+   start, parse, evaluate, print — which is what every scripted call
+   pays without the daemon. Best of [repeats]. *)
+let cold_single_shot ~ssdep_bin () =
+  let path = Filename.temp_file "ssdep_bench" ".ssdep" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Lazy.force serve_body));
+      let cmd =
+        Printf.sprintf "%s evaluate --file %s --json > /dev/null 2>&1"
+          (Filename.quote ssdep_bin) (Filename.quote path)
+      in
+      time_best_of ~repeats:3 (fun () ->
+          if Sys.command cmd <> 0 then
+            failwith ("cold single-shot failed: " ^ cmd)))
+
+let start_serve_daemon () =
+  let module Server = Storage_serve.Server in
+  let engine = Storage_optimize.Engine.create ~stats:true () in
+  let server =
+    Server.start
+      ~config:{ Server.default_config with Server.port = 0 }
+      engine
+  in
+  (engine, server)
+
+let serve_bench () =
+  let module J = Storage_report.Json in
+  let module Server = Storage_serve.Server in
+  let engine, server = start_serve_daemon () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Storage_optimize.Engine.shutdown engine)
+  @@ fun () ->
+  let port = Server.port server in
+  let clients = 4 and per_client = 100 in
+  Printf.printf
+    "Evaluation-service load: %d clients x %d requests to /evaluate \
+     (port %d)\n"
+    clients per_client port;
+  let load = serve_load ~port ~clients ~per_client in
+  Printf.printf
+    "  warm p50 %8.2f ms   p99 %8.2f ms   %8.1f req/s   %d failure(s)\n"
+    (load.p50 *. 1e3) (load.p99 *. 1e3) load.throughput load.failures;
+  let cold =
+    match Sys.getenv_opt "SSDEP_BIN" with
+    | None ->
+      print_endline
+        "  cold single-shot: skipped (SSDEP_BIN not set; point it at the \
+         ssdep binary)";
+      None
+    | Some ssdep_bin ->
+      let t = cold_single_shot ~ssdep_bin () in
+      Printf.printf
+        "  cold single-shot `ssdep evaluate --json`: %8.2f ms  (%.1fx the \
+         warm p50)\n"
+        (t *. 1e3) (t /. load.p50);
+      Some t
+  in
+  let json =
+    J.Obj
+      ([
+         ("mode", J.String "serve");
+         ("clients", J.Int load.clients);
+         ("requests_per_client", J.Int load.per_client);
+         ("warm_p50_seconds", J.Float load.p50);
+         ("warm_p99_seconds", J.Float load.p99);
+         ("throughput_rps", J.Float load.throughput);
+         ("failures", J.Int load.failures);
+       ]
+      @ (match cold with
+        | None -> [ ("cold_single_shot", J.String "skipped") ]
+        | Some t ->
+          [
+            ("cold_single_shot_seconds", J.Float t);
+            ("warm_speedup", J.Float (t /. load.p50));
+          ])
+      @ [ ("stats", Storage_obs.snapshot ()) ])
+  in
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      output_string oc (J.to_string_pretty json);
+      output_char oc '\n');
+  print_endline "  wrote BENCH_serve.json";
+  if load.failures > 0 then exit 1
+
 (* --- perf-regression gate --- *)
 
 (* [bench/main.exe --check [--smoke]]: measure the evaluation hot path
@@ -828,7 +1034,40 @@ let check_bench ~smoke () =
       ~ok:(!peak <= b.Baselines.max_peak_live_words)
       ~unit_:"words"
   in
-  let pass = ok_throughput && ok_speedup && ok_peak in
+  (* Gate 4 — the daemon's reason to exist: warm-cache /evaluate p50
+     must beat the cold single-shot CLI wall time by the committed
+     factor. Runs last: [Server.start] flips the obs registry on, which
+     must not perturb the gates above. Skipped when SSDEP_BIN does not
+     point at the CLI binary (nothing cold to time). *)
+  let ok_serve =
+    match Sys.getenv_opt "SSDEP_BIN" with
+    | None -> skip "serve-warm-speedup" "SSDEP_BIN not set"
+    | Some ssdep_bin ->
+      let engine, server = start_serve_daemon () in
+      let load =
+        Fun.protect
+          ~finally:(fun () ->
+            Storage_serve.Server.stop server;
+            Engine.shutdown engine)
+          (fun () ->
+            serve_load
+              ~port:(Storage_serve.Server.port server)
+              ~clients:4
+              ~per_client:(if smoke then 25 else 100))
+      in
+      let cold = cold_single_shot ~ssdep_bin () in
+      let speedup = cold /. load.p50 in
+      if load.failures > 0 then
+        gate "serve-warm-speedup"
+          ~measured:(float_of_int load.failures)
+          ~threshold:0. ~ok:false ~unit_:"failed requests"
+      else
+        gate "serve-warm-speedup" ~measured:speedup
+          ~threshold:b.Baselines.min_serve_warm_speedup
+          ~ok:(speedup >= b.Baselines.min_serve_warm_speedup)
+          ~unit_:"x"
+  in
+  let pass = ok_throughput && ok_speedup && ok_peak && ok_serve in
   let json =
     J.Obj
       [
@@ -950,6 +1189,7 @@ let () =
   | _ :: [ "pareto" ] -> pareto ()
   | _ :: [ "parallel" ] -> parallel_bench ()
   | _ :: [ "stream" ] -> stream_bench ()
+  | _ :: [ "serve" ] -> serve_bench ()
   | _ :: ([ "--check" ] | [ "check" ]) -> check_bench ~smoke:false ()
   | _ :: ([ "--check"; "--smoke" ] | [ "check"; "smoke" ]) ->
     check_bench ~smoke:true ()

@@ -59,15 +59,40 @@ let target_age_arg =
   in
   Arg.(value & opt float 0. & info [ "target-age" ] ~docv:"HOURS" ~doc)
 
+(* Configuration problems (malformed environment, unreadable input
+   files) claim the documented exit code 2 directly — the same code
+   `ssdep lint` uses for errors and `ssdep fuzz` for bad usage — rather
+   than going through cmdliner's 124 reserved for command-line parse
+   errors. *)
+let config_error msg =
+  Fmt.epr "ssdep: %s@." msg;
+  Format.pp_print_flush Format.std_formatter ();
+  Stdlib.exit 2
+
+(* Design files are loaded through one helper so every subcommand agrees:
+   a missing or unreadable path is a configuration error (exit 2, message
+   names the file), a file that reads but does not parse is an ordinary
+   command error (cmdliner's error path). *)
+let load_design ?validate path =
+  match Storage_spec.Spec.load_design_file ?validate path with
+  | Ok d -> Ok d
+  | Error (Storage_spec.Spec.Unreadable m) -> config_error m
+  | Error (Storage_spec.Spec.Invalid m) -> Error m
+
+let load_scenarios path =
+  match Storage_spec.Spec.load_scenarios_file path with
+  | Ok s -> Ok s
+  | Error (Storage_spec.Spec.Unreadable m) -> config_error m
+  | Error (Storage_spec.Spec.Invalid m) -> Error m
+
+(* --jobs and SSDEP_JOBS share Engine.parse_jobs, so the flag and the
+   environment variable accept exactly the same language; the variable
+   itself is resolved (and rejected with exit 2) in Engine.of_cli. *)
 let jobs_conv =
   let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some _ | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "invalid jobs count %S, expected a positive integer"
-              s))
+    Result.map_error
+      (fun m -> `Msg m)
+      (Storage_optimize.Engine.parse_jobs s)
   in
   Arg.conv (parse, Fmt.int)
 
@@ -83,14 +108,15 @@ let positive_int_conv =
   Arg.conv (parse, Fmt.int)
 
 let jobs_arg =
-  let env =
-    Cmd.Env.info "SSDEP_JOBS" ~doc:"Default number of evaluation domains."
-  in
   let doc =
-    "Evaluate on $(docv) domains in parallel (default 1 = serial). Results \
-     are identical to a serial run, whatever the value."
+    "Evaluate on $(docv) domains in parallel (default 1 = serial). The \
+     $(b,SSDEP_JOBS) environment variable supplies the default when the \
+     flag is absent; a malformed value there is a configuration error \
+     (exit 2), never a silent serial fallback. Results are identical to \
+     a serial run, whatever the value."
   in
-  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+  Arg.(
+    value & opt (some jobs_conv) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let chunk_arg =
   let doc =
@@ -146,19 +172,22 @@ let with_stats stats stats_json body =
       | exception Sys_error m -> Error m))
   | other -> other)
 
-(* One construction point for the execution engine: --jobs and --stats
-   flow through [Engine.of_cli], and the command body receives a ready
-   engine that is shut down on the way out. *)
+(* One construction point for the execution engine: --jobs (or
+   SSDEP_JOBS) and --stats flow through [Engine.of_cli], and the command
+   body receives a ready engine that is shut down on the way out. A
+   malformed SSDEP_JOBS surfaces here as a configuration error. *)
 let with_engine ?chunk ~jobs ~stats ~stats_json body =
   with_stats stats stats_json @@ fun () ->
-  let engine =
+  match
     Storage_optimize.Engine.of_cli ?chunk ~jobs
       ~stats:(stats || stats_json <> None)
       ()
-  in
-  Fun.protect
-    ~finally:(fun () -> Storage_optimize.Engine.shutdown engine)
-    (fun () -> body engine)
+  with
+  | Error msg -> config_error msg
+  | Ok engine ->
+    Fun.protect
+      ~finally:(fun () -> Storage_optimize.Engine.shutdown engine)
+      (fun () -> body engine)
 
 (* --- tables --- *)
 
@@ -218,7 +247,7 @@ let file_arg =
     "Load the design (and its [scenario] sections) from a design-language \
      file instead of a preset; see examples/designs/."
   in
-  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
 
 let json_arg =
   let doc = "Emit machine-readable JSON instead of the textual report." in
@@ -241,10 +270,10 @@ let evaluate_cmd =
     with_stats stats stats_json @@ fun () ->
     match file with
     | Some path -> (
-      match Storage_spec.Spec.design_of_file path with
+      match load_design path with
       | Error e -> Error e
       | Ok d -> (
-        match Storage_spec.Spec.scenarios_of_file path with
+        match load_scenarios path with
         | Error e -> Error e
         | Ok [] -> (
           match scenario_of_scope ~target_age scope with
@@ -296,10 +325,10 @@ let evaluate_cmd =
 let check_cmd =
   let file =
     let doc = "Design-language file to parse and validate." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let run path =
-    match Storage_spec.Spec.design_of_file path with
+    match load_design path with
     | Error e -> Error e
     | Ok d ->
       Fmt.pr "%a@.@." Design.pp d;
@@ -339,15 +368,15 @@ let lint_cmd =
   let run target json deny_warnings =
     let loaded =
       if Sys.file_exists target && not (Sys.is_directory target) then
-        match Storage_spec.Spec.design_of_file ~validate:false target with
+        match load_design ~validate:false target with
         | Error e -> Error e
         | Ok d -> (
-          match Storage_spec.Spec.scenarios_of_file target with
+          match load_scenarios target with
           | Error e -> Error e
           | Ok scenarios -> Ok (d, scenarios))
       else
         match find_design target with
-        | Error e -> Error (e ^ " (and no such file)")
+        | Error e -> config_error (e ^ " (and no such file)")
         | Ok d ->
           Ok
             ( d,
@@ -799,10 +828,10 @@ let report_cmd =
     let design_and_scenarios =
       match file with
       | Some path -> (
-        match Storage_spec.Spec.design_of_file path with
+        match load_design path with
         | Error e -> Error e
         | Ok d -> (
-          match Storage_spec.Spec.scenarios_of_file path with
+          match load_scenarios path with
           | Error e -> Error e
           | Ok [] ->
             Error "the design file defines no [scenario] sections to report on"
@@ -864,7 +893,7 @@ let explain_cmd =
   let run design file scope target_age =
     let design_result =
       match file with
-      | Some path -> Storage_spec.Spec.design_of_file path
+      | Some path -> load_design path
       | None -> find_design design
     in
     match design_result with
@@ -893,13 +922,13 @@ let explain_cmd =
 let portfolio_cmd =
   let files =
     let doc = "Design-language files to consolidate (devices shared by name)." in
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
   in
   let run paths =
     let rec load acc = function
       | [] -> Ok (List.rev acc)
       | path :: rest -> (
-        match Storage_spec.Spec.design_of_file path with
+        match load_design path with
         | Error e -> Error (path ^ ": " ^ e)
         | Ok d -> load ((path, d) :: acc) rest)
     in
@@ -1091,6 +1120,109 @@ let fuzz_cmd =
   in
   Cmd.v info Term.(term_result' term)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module Server = Storage_serve.Server in
+  let port =
+    let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let workers =
+    let doc = "Handler domains draining the admission queue." in
+    Arg.(value & opt positive_int_conv Server.default_config.Server.workers
+         & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc =
+      "Admission-queue bound: connections beyond $(docv) waiting for a \
+       worker are answered 429 immediately (back-pressure, never \
+       unbounded queueing)."
+    in
+    Arg.(value & opt positive_int_conv
+           Server.default_config.Server.queue_capacity
+         & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let shards =
+    let doc = "Evaluation-cache shards (keyed by design fingerprint)." in
+    Arg.(value & opt positive_int_conv Server.default_config.Server.shards
+         & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let max_body =
+    let doc = "Request-body byte limit (413 beyond it)." in
+    Arg.(value & opt positive_int_conv Server.default_config.Server.max_body
+         & info [ "max-body" ] ~docv:"BYTES" ~doc)
+  in
+  let timeout =
+    let doc = "Per-connection read/write timeout in seconds." in
+    Arg.(value & opt float Server.default_config.Server.timeout
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run port workers queue shards max_body timeout chunk jobs =
+    if timeout <= 0. then
+      config_error "serve: --timeout must be a positive number of seconds";
+    (* The daemon's /stats endpoint is its observability story, so the
+       engine always records ([Server.start] turns the registry on). *)
+    match Storage_optimize.Engine.of_cli ?chunk ~jobs ~stats:true () with
+    | Error msg -> config_error msg
+    | Ok engine ->
+      Fun.protect
+        ~finally:(fun () -> Storage_optimize.Engine.shutdown engine)
+      @@ fun () ->
+      let config =
+        {
+          Server.port;
+          workers;
+          queue_capacity = queue;
+          shards;
+          max_body;
+          timeout;
+        }
+      in
+      let server =
+        try Server.start ~config engine with
+        | Invalid_argument msg -> config_error msg
+        | Unix.Unix_error (err, _, _) ->
+          config_error
+            (Printf.sprintf "serve: cannot listen on port %d: %s" port
+               (Unix.error_message err))
+      in
+      (* Scripts (CI smoke, the bench load generator) parse this line to
+         learn the bound port; keep it first and flushed. *)
+      Fmt.pr "listening on http://127.0.0.1:%d@." (Server.port server);
+      Format.pp_print_flush Format.std_formatter ();
+      let stop_requested = Atomic.make false in
+      let request_stop _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      while not (Atomic.get stop_requested) do
+        try Unix.sleepf 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* Graceful drain: stop accepting, answer everything already
+         admitted, join the domains, then let [Fun.protect] shut the
+         engine down. *)
+      Server.stop server;
+      Fmt.pr "drained, shutting down@.";
+      Ok ()
+  in
+  let term =
+    Term.(
+      const run $ port $ workers $ queue $ shards $ max_body $ timeout
+      $ chunk_arg $ jobs_arg)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run a long-lived evaluation service on 127.0.0.1: POST \
+         design-language files to /evaluate (JSON byte-identical to \
+         $(b,ssdep evaluate --json)) and /lint, search via /optimize, \
+         watch /stats, probe /healthz. A warm evaluation cache is \
+         shared across requests; a bounded admission queue answers 429 \
+         under overload; SIGINT/SIGTERM drain gracefully."
+  in
+  Cmd.v info Term.(term_result' term)
+
 let main_cmd =
   let doc = "storage system dependability evaluation (DSN 2004 framework)" in
   let info = Cmd.info "ssdep" ~version:"1.0.0" ~doc in
@@ -1098,7 +1230,7 @@ let main_cmd =
     [
       tables_cmd; evaluate_cmd; check_cmd; lint_cmd; whatif_cmd; simulate_cmd;
       optimize_cmd; characterize_cmd; risk_cmd; degraded_cmd; report_cmd;
-      portfolio_cmd; explain_cmd; fuzz_cmd;
+      portfolio_cmd; explain_cmd; fuzz_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

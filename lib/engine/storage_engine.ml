@@ -67,11 +67,40 @@ let create ?(jobs = 1) ?(lint = true) ?(seed = default_seed) ?(stats = false)
     slots = Hashtbl.create 8;
   }
 
+(* One validation path for every spelling of a jobs count — the --jobs
+   option converter in bin/ and the SSDEP_JOBS environment variable both
+   call this, so they can never drift apart. *)
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some _ | None ->
+    Error
+      (Printf.sprintf "invalid jobs count %S, expected a positive integer" s)
+
+let jobs_env_var = "SSDEP_JOBS"
+
 (* Unattended front ends share one bound: large enough that the CLI's
    design grids (hundreds of candidates x a few scenarios) never evict,
    small enough that streaming a million-design grid stays bounded. *)
-let of_cli ?chunk ~jobs ~stats () =
-  create ~jobs ~stats ~cache_bound:8192 ?chunk ()
+let of_cli ?chunk ?(env = Sys.getenv_opt) ~jobs ~stats () =
+  let resolved =
+    match jobs with
+    | Some n -> Ok n
+    | None -> (
+      match env jobs_env_var with
+      | None -> Ok 1
+      | Some raw -> (
+        (* A malformed SSDEP_JOBS is a configuration error the caller
+           must surface, never a silent serial fallback: a sweep that
+           quietly ran serial because of a typo would look like a 4x
+           perf regression. *)
+        match parse_jobs raw with
+        | Ok n -> Ok n
+        | Error e -> Error (Printf.sprintf "%s: %s" jobs_env_var e)))
+  in
+  Result.map
+    (fun jobs -> create ~jobs ~stats ~cache_bound:8192 ?chunk ())
+    resolved
 
 let jobs t = t.jobs
 let lint t = t.lint

@@ -49,11 +49,31 @@ val create :
     design fingerprinting that exists only to key it (see
     {!Storage_model.Design.fingerprint}). *)
 
-val of_cli : ?chunk:int -> jobs:int -> stats:bool -> unit -> t
+val parse_jobs : string -> (int, string) result
+(** Validates one spelling of a jobs count: a positive decimal integer.
+    The single validation path behind both the [--jobs] option and the
+    [SSDEP_JOBS] environment variable, so the two can never accept
+    different languages. *)
+
+val jobs_env_var : string
+(** ["SSDEP_JOBS"]. *)
+
+val of_cli :
+  ?chunk:int ->
+  ?env:(string -> string option) ->
+  jobs:int option ->
+  stats:bool ->
+  unit ->
+  (t, string) result
 (** The one construction point for command-line front ends: routes
     [--jobs], [--chunk] and [--stats] into an engine with a bounded
     evaluation-cache policy suitable for unattended runs (see
-    {!cache_bound}). *)
+    {!cache_bound}). [jobs = None] means "not given on the command
+    line": the {!jobs_env_var} environment variable (read through [env],
+    default [Sys.getenv_opt]) supplies the default, and a malformed
+    value there is an [Error] naming the variable — a configuration
+    error, never a silent serial fallback. An explicit [jobs = Some n]
+    wins over the environment. *)
 
 val with_engine :
   ?jobs:int -> ?lint:bool -> ?seed:int64 -> ?stats:bool -> (t -> 'a) -> 'a

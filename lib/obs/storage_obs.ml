@@ -13,6 +13,20 @@ let enabled () = Atomic.get state
 let ns_of_seconds s = int_of_float (s *. 1e9)
 let seconds_of_ns ns = float_of_int ns /. 1e9
 
+(* The time source behind every span measurement. [Unix.gettimeofday] is
+   wall-clock time: an NTP step (or any administrative clock change)
+   between the two reads of a span makes the difference negative or
+   wildly large, so spans are clamped to >= 0 where they are computed.
+   Kept swappable (atomically, so concurrent timers always see a
+   coherent function) for the injected-clock regression tests. *)
+let clock : (unit -> float) Atomic.t = Atomic.make Unix.gettimeofday
+let now () = (Atomic.get clock) ()
+
+let with_clock c f =
+  let prev = Atomic.get clock in
+  Atomic.set clock c;
+  Fun.protect ~finally:(fun () -> Atomic.set clock prev) f
+
 (* Histogram observations are arbitrary user magnitudes, not process
    lifetimes, so their sum must accumulate as a float: a CAS retry loop
    stands in for the fetch-and-add that [float Atomic.t] lacks. *)
@@ -84,10 +98,12 @@ module Timer = struct
 
   let time t f =
     if enabled () then begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = now () in
       Fun.protect
         ~finally:(fun () ->
-          let dt = Unix.gettimeofday () -. t0 in
+          (* Clamp: a wall-clock step backwards mid-span must not subtract
+             from (or, cast to unsigned, explode) the accumulated total. *)
+          let dt = Float.max 0. (now () -. t0) in
           Atomic.incr t.calls;
           ignore (Atomic.fetch_and_add t.total_ns (ns_of_seconds dt)))
         f

@@ -30,6 +30,24 @@ val reset : unit -> unit
 (** Zero every counter, timer and histogram (gauges are polled, not
     stored). Registered names survive. *)
 
+val now : unit -> float
+(** The registry's time source, in seconds. By default
+    [Unix.gettimeofday] — {b wall-clock} time, chosen so that spans are
+    meaningful across domains without a monotonic-clock dependency. The
+    caveat: wall-clock time can step (NTP adjustment, manual change)
+    between the two reads of a span, so every span computed from this
+    clock {e must} be clamped to [>= 0] before it is recorded — {!Timer.time}
+    and the pool's queue-wait instrumentation do so. Instrumentation may
+    under-report a span that straddles a step; it never records a
+    negative or step-sized one. *)
+
+val with_clock : (unit -> float) -> (unit -> 'a) -> 'a
+(** [with_clock c f] runs [f] with {!now} reading [c] instead of the
+    wall clock, restoring the previous clock on the way out (also on
+    exceptions). A test hook for exercising clock-step behaviour; the
+    swap is atomic but not scoped per-domain, so production code should
+    never run concurrently with it. *)
+
 (** Monotonically increasing event counts. *)
 module Counter : sig
   type t
@@ -52,10 +70,12 @@ module Timer : sig
   val make : string -> t
 
   val time : t -> (unit -> 'a) -> 'a
-  (** [time t f] runs [f ()], adding its wall-clock duration (via
-      [Unix.gettimeofday]) and one call to [t] when recording is enabled;
-      when disabled it is exactly [f ()]. The duration is recorded even
-      when [f] raises. *)
+  (** [time t f] runs [f ()], adding its duration (via {!now} — wall
+      clock, see the caveat there) and one call to [t] when recording is
+      enabled; when disabled it is exactly [f ()]. The duration is
+      recorded even when [f] raises, and is clamped to [>= 0] so a
+      wall-clock step backwards mid-span records a zero-length call, not
+      a negative or enormous one. *)
 
   val count : t -> int
   val total_seconds : t -> float

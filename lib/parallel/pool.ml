@@ -58,9 +58,15 @@ let obs_domain_tasks =
 let record_task ~domain_index ~enqueued_at =
   if Storage_obs.enabled () then begin
     Storage_obs.Counter.incr (obs_domain_tasks domain_index);
+    (* Tasks enqueued while stats were disabled carry [enqueued_at = 0.]
+       (no timestamp was taken); recording those would log a bogus
+       ~epoch-sized wait when stats come on mid-batch. The wait itself is
+       clamped: both reads are wall clock (see {!Storage_obs.now}), so a
+       clock step between enqueue and pickup could otherwise go
+       negative. *)
     if enqueued_at > 0. then
       Storage_obs.Histogram.observe obs_queue_wait
-        (Unix.gettimeofday () -. enqueued_at)
+        (Float.max 0. (Storage_obs.now () -. enqueued_at))
   end
 
 let worker ~index t =
@@ -159,7 +165,7 @@ let map_on ?chunk t f xs =
       Mutex.unlock t.lock
     in
     let enqueued_at =
-      if Storage_obs.enabled () then Unix.gettimeofday () else 0.
+      if Storage_obs.enabled () then Storage_obs.now () else 0.
     in
     Mutex.lock t.lock;
     for c = 0 to nchunks - 1 do

@@ -755,19 +755,35 @@ let design_to_string ?(scenarios = []) (d : Design.t) =
   in
   Ok (Buffer.contents buf)
 
+type load_error = Unreadable of string | Invalid of string
+
+let load_error_message = function Unreadable m | Invalid m -> m
+
+(* [Sys_error]'s message already names the file ("path: No such file or
+   directory" / "path: Permission denied"); raising it out of here
+   instead would hand callers a backtrace where they need a filename. *)
 let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> Ok text
-  | exception Sys_error m -> Error m
+  | exception Sys_error m -> Error (Unreadable m)
+
+let load_design_file ?validate path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text ->
+    Result.map_error (fun m -> Invalid m) (design_of_string ?validate text)
 
 let design_of_file ?validate path =
-  let* text = read_file path in
-  design_of_string ?validate text
+  Result.map_error load_error_message (load_design_file ?validate path)
 
 let scenarios_of_string text =
   let* sections = Ini.parse text in
   traverse parse_scenario (Ini.find_all sections ~kind:"scenario")
 
+let load_scenarios_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text -> Result.map_error (fun m -> Invalid m) (scenarios_of_string text)
+
 let scenarios_of_file path =
-  let* text = read_file path in
-  scenarios_of_string text
+  Result.map_error load_error_message (load_scenarios_file path)

@@ -76,6 +76,27 @@ val design_of_string : ?validate:bool -> string -> (Design.t, string) result
 
 val design_of_file : ?validate:bool -> string -> (Design.t, string) result
 
+type load_error =
+  | Unreadable of string
+      (** The file could not be read at all (missing, permission denied);
+          the message names the file and the OS error. A front end should
+          treat this as a configuration error (`ssdep` exits 2), distinct
+          from a file that reads fine but does not parse. *)
+  | Invalid of string
+      (** The file was read but is not a valid design: parse or
+          validation error with section/line context. *)
+
+val load_error_message : load_error -> string
+
+val load_design_file :
+  ?validate:bool -> string -> (Design.t, load_error) result
+(** {!design_of_file} with the error split into {!load_error} cases, for
+    callers that map unreadable paths and invalid contents to different
+    exit codes. *)
+
+val load_scenarios_file :
+  string -> ((string * Scenario.t) list, load_error) result
+
 val scenarios_of_string :
   string -> ((string * Scenario.t) list, string) result
 (** The named [[scenario]] sections of a design file (empty list when

@@ -51,3 +51,19 @@ Malformed files are rejected with the offending location:
   $ ssdep check broken.ssdep
   ssdep: line 1: key "orphan" outside any section
   [124]
+
+A missing or unreadable file is a configuration error, not a parse
+error: exit code 2, a message naming the file, and no raw Sys_error
+backtrace — on every subcommand that loads a design:
+
+  $ ssdep evaluate --file nonexistent.ssdep
+  ssdep: nonexistent.ssdep: No such file or directory
+  [2]
+
+  $ ssdep check nonexistent.ssdep
+  ssdep: nonexistent.ssdep: No such file or directory
+  [2]
+
+  $ ssdep report --file no/such/dir/x.ssdep
+  ssdep: no/such/dir/x.ssdep: No such file or directory
+  [2]

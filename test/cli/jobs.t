@@ -10,6 +10,23 @@ The SSDEP_JOBS environment variable supplies the default:
   $ SSDEP_JOBS=4 ssdep optimize > env.out
   $ diff serial.out env.out
 
+A malformed SSDEP_JOBS is a configuration error: exit code 2 and a
+message naming the variable, on every subcommand that builds an engine —
+not a usage error, since no flag was misspelled:
+
+  $ SSDEP_JOBS=banana ssdep optimize
+  ssdep: SSDEP_JOBS: invalid jobs count "banana", expected a positive integer
+  [2]
+
+  $ SSDEP_JOBS=0 ssdep simulate -s array
+  ssdep: SSDEP_JOBS: invalid jobs count "0", expected a positive integer
+  [2]
+
+An explicit --jobs wins over the environment, even a malformed one:
+
+  $ SSDEP_JOBS=banana ssdep optimize --jobs 1 > env_override.out
+  $ diff serial.out env_override.out
+
 Invalid job counts are rejected up front with a clear message:
 
   $ ssdep optimize --jobs 0

@@ -96,4 +96,4 @@ A name that is neither a file nor a preset is a usage error:
 
   $ ssdep lint nonesuch
   ssdep: unknown design "nonesuch"; available: baseline, weekly vault, weekly vault, F+I, weekly vault, daily F, weekly vault, daily F, snapshot, asyncB mirror, 1 link, asyncB mirror, 10 links (and no such file)
-  [124]
+  [2]

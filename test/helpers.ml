@@ -23,6 +23,12 @@ let close_rate ?tol msg expected actual =
 let close_money ?tol msg expected actual =
   close ?tol msg (Money.to_usd expected) (Money.to_usd actual)
 
+(* Substring check, for asserting on fragments of error messages. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 let check_raises_invalid msg f =
   match f () with
   | exception Invalid_argument _ -> ()

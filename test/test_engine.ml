@@ -30,12 +30,44 @@ let test_create_invalid () =
   Helpers.check_raises_invalid "cache_bound=0" (fun () ->
       Engine.create ~cache_bound:0 ())
 
+let ok_engine = function
+  | Ok e -> e
+  | Error m -> Alcotest.failf "of_cli: %s" m
+
 let test_of_cli_bounded () =
-  let e = Engine.of_cli ~jobs:2 ~stats:false () in
+  let e = ok_engine (Engine.of_cli ~jobs:(Some 2) ~stats:false ()) in
   Alcotest.(check int) "jobs" 2 (Engine.jobs e);
   Alcotest.(check bool) "cache is bounded" true
     (Engine.cache_bound e <> None);
   Engine.shutdown e
+
+(* SSDEP_JOBS resolution: the env supplies the default, an explicit
+   --jobs wins, and a malformed value is a configuration error naming
+   the variable — never a silent serial fallback. *)
+let test_of_cli_env () =
+  let env v _ = v in
+  let e = ok_engine (Engine.of_cli ~env:(env (Some "3")) ~jobs:None ~stats:false ()) in
+  Alcotest.(check int) "env default" 3 (Engine.jobs e);
+  Engine.shutdown e;
+  let e = ok_engine (Engine.of_cli ~env:(env None) ~jobs:None ~stats:false ()) in
+  Alcotest.(check int) "absent env means serial" 1 (Engine.jobs e);
+  Engine.shutdown e;
+  let e =
+    ok_engine
+      (Engine.of_cli ~env:(env (Some "banana")) ~jobs:(Some 2) ~stats:false ())
+  in
+  Alcotest.(check int) "explicit flag wins over env" 2 (Engine.jobs e);
+  Engine.shutdown e;
+  List.iter
+    (fun bad ->
+      match Engine.of_cli ~env:(env (Some bad)) ~jobs:None ~stats:false () with
+      | Ok _ -> Alcotest.failf "SSDEP_JOBS=%s accepted" bad
+      | Error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the variable (%s)" bad)
+          true
+          (Helpers.contains m Engine.jobs_env_var))
+    [ "banana"; "0"; "-3"; "" ]
 
 let test_shutdown_idempotent_and_revivable () =
   let e = Engine.create ~jobs:3 () in
@@ -240,6 +272,7 @@ let suite =
         t "create defaults" test_create_defaults;
         t "invalid arguments rejected" test_create_invalid;
         t "of_cli bounds the cache" test_of_cli_bounded;
+        t "of_cli resolves SSDEP_JOBS" test_of_cli_env;
         t "shutdown idempotent, pool revivable"
           test_shutdown_idempotent_and_revivable;
         t "with_engine shuts down on exception"

@@ -9,4 +9,5 @@ let () =
    @ Test_lint.suite
    @ Test_random_designs.suite
    @ Test_parallel.suite @ Test_engine.suite @ Test_report.suite
-   @ Test_obs.suite @ Test_testkit.suite @ Test_legacy_equiv.suite)
+   @ Test_obs.suite @ Test_testkit.suite @ Test_legacy_equiv.suite
+   @ Test_serve.suite)

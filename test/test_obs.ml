@@ -67,6 +67,41 @@ let test_enabled_records () =
   Alcotest.(check int) "reset zeroes histograms" 0
     (Storage_obs.Histogram.count h)
 
+(* Timers read wall-clock time, which can step backwards (NTP). A span
+   measured across a backwards step must clamp to zero, never record a
+   negative or absurd duration. Pinned with an injected clock. *)
+let test_timer_clamps_backwards_clock () =
+  with_obs @@ fun () ->
+  let t = Storage_obs.Timer.make "test.clock.timer" in
+  (* Clock steps backwards by an hour between the two reads. *)
+  let ticks = ref [ 1000.; -2600. ] in
+  let clock () =
+    match !ticks with
+    | [] -> 0.
+    | x :: rest ->
+      ticks := rest;
+      x
+  in
+  let v = Storage_obs.with_clock clock (fun () ->
+      Storage_obs.Timer.time t (fun () -> 7)) in
+  Alcotest.(check int) "timed function ran" 7 v;
+  Alcotest.(check int) "call counted" 1 (Storage_obs.Timer.count t);
+  close "backwards span clamps to zero" 0. (Storage_obs.Timer.total_seconds t);
+  (* And a forward clock still records the real span. *)
+  let ticks2 = ref [ 10.; 12.5 ] in
+  let clock2 () =
+    match !ticks2 with
+    | [] -> 12.5
+    | x :: rest ->
+      ticks2 := rest;
+      x
+  in
+  ignore (Storage_obs.with_clock clock2 (fun () ->
+      Storage_obs.Timer.time t (fun () -> ())));
+  close "forward span recorded" 2.5 (Storage_obs.Timer.total_seconds t);
+  (* with_clock restores the previous clock on exit. *)
+  Alcotest.(check bool) "real clock restored" true (Storage_obs.now () > 0.)
+
 let test_snapshot_shape () =
   with_obs @@ fun () ->
   let c = Storage_obs.Counter.make "test.snap.counter" in
@@ -162,6 +197,8 @@ let suite =
           test_disabled_is_inert;
         Alcotest.test_case "enabled recording counts" `Quick
           test_enabled_records;
+        Alcotest.test_case "timer clamps a backwards clock" `Quick
+          test_timer_clamps_backwards_clock;
         Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
         Alcotest.test_case "never perturbs evaluation" `Quick
           test_obs_never_perturbs_evaluate;

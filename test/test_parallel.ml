@@ -130,6 +130,40 @@ let test_shutdown_idempotent () =
   Pool.shutdown p;
   Pool.shutdown p
 
+(* Tasks enqueued while stats are disabled carry [enqueued_at = 0.]. If
+   recording turns on before they drain, the queue-wait histogram must
+   skip them — naively measuring against timestamp 0 would record an
+   epoch-sized wait and wreck every percentile. *)
+let test_queue_wait_skips_pre_enable_tasks () =
+  let h = Storage_obs.Histogram.make "pool.queue_wait_seconds" in
+  Storage_obs.disable ();
+  let before = Storage_obs.Histogram.count h in
+  Fun.protect ~finally:(fun () -> Storage_obs.disable ()) @@ fun () ->
+  Pool.with_pool ~jobs:2 (fun p ->
+      (* All chunks are enqueued (with enqueued_at = 0.) before any
+         worker runs the function that flips recording on. *)
+      let out =
+        Pool.map_on ~chunk:1 p
+          (fun x ->
+            Storage_obs.enable ();
+            x * x)
+          (List.init 16 Fun.id)
+      in
+      Alcotest.(check (list int))
+        "results unaffected"
+        (List.map square (List.init 16 Fun.id))
+        out);
+  Alcotest.(check int) "no bogus epoch-sized waits recorded" before
+    (Storage_obs.Histogram.count h);
+  (* With recording on for the whole batch, waits do get observed —
+     the guard skips only the sentinel timestamp. *)
+  Storage_obs.enable ();
+  Pool.with_pool ~jobs:2 (fun p ->
+      ignore (Pool.map_on ~chunk:1 p square (List.init 8 Fun.id)));
+  Storage_obs.disable ();
+  Alcotest.(check bool) "live batches still observed" true
+    (Storage_obs.Histogram.count h > before)
+
 (* ------------------------------------------------------------------ *)
 (* Pool.map_seq chunked scheduling *)
 
@@ -482,6 +516,8 @@ let suite =
         t "pool survives a failed batch" test_pool_survives_batch_failure;
         t "pool reused across many batches" test_pool_reuse_many_batches;
         t "shutdown is idempotent" test_shutdown_idempotent;
+        t "queue-wait skips tasks enqueued before stats were on"
+          test_queue_wait_skips_pre_enable_tasks;
       ] );
     ( "parallel_map_seq",
       [

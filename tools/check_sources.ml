@@ -17,6 +17,11 @@
    - Libraries never terminate the process: [exit] belongs to bin/, not
      lib/. A library that exits steals error handling from its caller.
 
+   - Network confinement: socket primitives live in lib/serve (and bin/,
+     which this checker does not scan). Any other library opening,
+     binding or accepting sockets would smuggle I/O and ambient network
+     state into what are otherwise pure evaluation kernels.
+
    - One execution context: lib/engine owns the [?jobs]/[?cache]/[?lint]
      configuration. No other interface may declare those optional
      arguments — entry points take [?engine] instead, so the triple can
@@ -55,6 +60,19 @@ let rules =
        bin/ decide the exit code" );
   ]
 
+(* Socket primitives are confined by directory, not basename: only
+   lib/serve may touch the network. *)
+let socket_re =
+  Str.regexp
+    "Unix\\.\\(socket\\|bind\\|listen\\|accept\\|connect\\|setsockopt\\)"
+
+let socket_msg =
+  "socket primitive outside lib/serve: network I/O is confined to the \
+   serve library (and bin/); evaluation libraries must stay pure"
+
+let in_serve_lib file =
+  String.equal (Filename.basename (Filename.dirname file)) "serve"
+
 let check_line ~file ~lineno line =
   List.iter
     (fun (re, exempt, msg) ->
@@ -64,7 +82,13 @@ let check_line ~file ~lineno line =
                true
              with Not_found -> false)
       then report ~file ~line:lineno msg)
-    rules
+    rules;
+  if (not (in_serve_lib file))
+     && (try
+           ignore (Str.search_forward socket_re line 0);
+           true
+         with Not_found -> false)
+  then report ~file ~line:lineno socket_msg
 
 let check_file file =
   In_channel.with_open_text file (fun ic ->
