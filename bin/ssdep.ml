@@ -411,7 +411,9 @@ let lint_cmd =
         "Statically analyze a design against the SSDEP rule set: stable \
          rule codes, severities and structured locations, as a table or \
          JSON. Exits 2 when errors are found, 1 for warnings under \
-         $(b,--deny-warnings), 0 when clean."
+         $(b,--deny-warnings), 0 when clean. This command checks storage \
+         $(i,designs); the separate $(b,sslint) tool checks this \
+         project's own OCaml sources (SA rules)."
   in
   Cmd.v info Term.(term_result' term)
 

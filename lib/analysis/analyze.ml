@@ -1,0 +1,39 @@
+type report = { files : int; findings : Finding.t list }
+
+let file path =
+  match Source.load path with
+  | Error f -> [ f ]
+  | Ok (ctx, parsed) ->
+    let suppressions = Suppress.collect ctx parsed in
+    let raw = Rules.check ctx parsed in
+    let kept = List.filter (fun f -> not (Suppress.drop suppressions f)) raw in
+    List.sort Finding.compare (kept @ Suppress.unused suppressions)
+
+let is_ocaml_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let skip_dir name = name = "_build" || (name <> "" && name.[0] = '.')
+
+let ocaml_sources roots =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             if skip_dir entry then acc
+             else begin
+               let sub = Filename.concat path entry in
+               if Sys.is_directory sub then walk acc sub
+               else if is_ocaml_source entry then sub :: acc
+               else acc
+             end)
+           acc
+    else if is_ocaml_source path then path :: acc
+    else acc
+  in
+  List.fold_left walk [] roots |> List.sort_uniq String.compare
+
+let paths roots =
+  let files = ocaml_sources roots in
+  let findings = List.concat_map file files in
+  { files = List.length files; findings = List.sort Finding.compare findings }

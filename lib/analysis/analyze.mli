@@ -1,0 +1,17 @@
+(** Driving the analyzer over files and directory trees. *)
+
+type report = { files : int; findings : Finding.t list }
+
+val file : string -> Finding.t list
+(** Analyze one file: parse, run every rule, apply [[@sslint.allow]]
+    suppressions, and report unused suppressions ([SA011]). *)
+
+val ocaml_sources : string list -> string list
+(** The [.ml]/[.mli] files under the given paths (a path may itself be a
+    file), recursively, skipping dot-directories and [_build]; sorted
+    and de-duplicated so a run is deterministic regardless of the
+    filesystem's ordering. *)
+
+val paths : string list -> report
+(** {!file} over {!ocaml_sources}, findings merged in
+    {!Finding.compare} order. *)

@@ -1,0 +1,88 @@
+module D = Storage_lint.Diagnostic
+
+type severity = D.severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~code severity ~file ~line ~col fmt =
+  Printf.ksprintf
+    (fun message -> { code; severity; file; line; col; message })
+    fmt
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else begin
+        let c =
+          Int.compare (D.severity_rank a.severity) (D.severity_rank b.severity)
+        in
+        if c <> 0 then c
+        else begin
+          let c = String.compare a.code b.code in
+          if c <> 0 then c else String.compare a.message b.message
+        end
+      end
+    end
+  end
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let warnings fs = List.filter (fun f -> f.severity = Warning) fs
+
+let exit_code ?(deny_warnings = false) fs =
+  if errors fs <> [] then 2
+  else if deny_warnings && warnings fs <> [] then 1
+  else 0
+
+let pp ppf f =
+  Fmt.pf ppf "%s:%d:%d: %-6s %-8s %s" f.file f.line f.col f.code
+    (D.severity_name f.severity)
+    f.message
+
+let pp_report ~files ppf fs =
+  match fs with
+  | [] -> Fmt.pf ppf "clean: %d file(s) analyzed" files
+  | fs ->
+    List.iter (fun f -> Fmt.pf ppf "%a@." pp f) fs;
+    Fmt.pf ppf "%d error(s), %d warning(s) across %d file(s)"
+      (List.length (errors fs))
+      (List.length (warnings fs))
+      files
+
+let to_json ~files fs =
+  let open Storage_report.Json in
+  let finding f =
+    Obj
+      [
+        ("code", String f.code);
+        ("severity", String (D.severity_name f.severity));
+        ("file", String f.file);
+        ("line", Int f.line);
+        ("col", Int f.col);
+        ("message", String f.message);
+      ]
+  in
+  Obj
+    [
+      ("tool", String "sslint");
+      ("files", Int files);
+      ("findings", List (List.map finding fs));
+      ( "counts",
+        Obj
+          [
+            ("errors", Int (List.length (errors fs)));
+            ("warnings", Int (List.length (warnings fs)));
+          ] );
+    ]

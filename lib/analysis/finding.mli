@@ -1,0 +1,52 @@
+(** One finding of the project source analyzer ({!Storage_analysis}).
+
+    The analyzer reports against {e source files}, so a finding carries a
+    [file:line:col] position instead of {!Storage_lint.Diagnostic}'s
+    structured design locations — but it reuses the design linter's
+    severity scale and rendering conventions (stable codes, a human
+    table, stable JSON), so the two tools read the same in a terminal or
+    a CI log. *)
+
+type severity = Storage_lint.Diagnostic.severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["SA001"] *)
+  severity : severity;
+  file : string;  (** path as given to the analyzer *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching the compiler's convention *)
+  message : string;
+}
+
+val make :
+  code:string ->
+  severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [make ~code severity ~file ~line ~col fmt ...] builds a finding with
+    a printf-formatted message. *)
+
+val compare : t -> t -> int
+(** Total order used for stable output: file, position, severity, code,
+    message. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val exit_code : ?deny_warnings:bool -> t list -> int
+(** [2] with errors, [1] with warnings under [~deny_warnings:true], [0]
+    otherwise — the same contract as [ssdep lint]. *)
+
+val pp : t Fmt.t
+(** One table row: position, code, severity, message. *)
+
+val pp_report : files:int -> t list Fmt.t
+(** The findings table followed by a severity summary
+    (["clean: N file(s) analyzed"] when empty). *)
+
+val to_json : files:int -> t list -> Storage_report.Json.t
+(** Stable machine-readable form: tool name, file count, the ordered
+    findings, and per-severity counts. *)

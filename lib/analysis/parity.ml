@@ -1,0 +1,108 @@
+(* A faithful port of tools/check_sources.ml's regexes. Kept verbatim —
+   including their blind spots — so the tests can demonstrate exactly
+   what the AST rules see that these do not. Delete after one release
+   of green parity (see the .mli). *)
+
+type hit = { file : string; line : int; code : string }
+
+let line_rules =
+  [
+    (* Spelled ["Random" ^ "."] so the retired checker's own port does
+       not trip its regex: a line regex cannot tell an identifier from a
+       string literal (the AST rules can — that asymmetry is the point
+       of this module). The runtime pattern is identical. *)
+    ("SA001", Str.regexp_string ("Random" ^ "."), [ "prng.ml"; "seeded.ml" ]);
+    ( "SA002",
+      Str.regexp "^let .*Hashtbl\\.create",
+      [ "memo.ml"; "eval_cache.ml"; "storage_obs.ml" ] );
+    ("SA003", Str.regexp "Stdlib\\.exit\\|\\bexit +[0-9(]", []);
+  ]
+
+let socket_re =
+  Str.regexp
+    "Unix\\.\\(socket\\|bind\\|listen\\|accept\\|connect\\|setsockopt\\)"
+
+let engine_args_re = Str.regexp "\\?jobs\\|\\?cache\\|\\?lint"
+let val_start_re = Str.regexp "^val "
+let deprecated_re = Str.regexp_string "[@@deprecated"
+
+let matches re line =
+  match Str.search_forward re line 0 with
+  | _ -> true
+  | exception Not_found -> false
+
+let lines_of text =
+  (* input_line semantics: a trailing newline does not add a line. *)
+  let lines = String.split_on_char '\n' text in
+  match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+
+let in_dir name file =
+  String.equal (Filename.basename (Filename.dirname file)) name
+
+let scan_ml file text =
+  let base = Filename.basename file in
+  let hits = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      List.iter
+        (fun (code, re, exempt) ->
+          if (not (List.mem base exempt)) && matches re line then
+            hits := { file; line = lineno; code } :: !hits)
+        line_rules;
+      if (not (in_dir "serve" file)) && matches socket_re line then
+        hits := { file; line = lineno; code = "SA004" } :: !hits)
+    (lines_of text);
+  List.rev !hits
+
+let scan_mli file text =
+  if in_dir "engine" file then []
+  else begin
+    let hits = ref [] in
+    let pending = ref [] and block_deprecated = ref false in
+    let flush () =
+      if not !block_deprecated then
+        List.iter
+          (fun line -> hits := { file; line; code = "SA005" } :: !hits)
+          (List.rev !pending);
+      pending := [];
+      block_deprecated := false
+    in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        if matches val_start_re line then flush ();
+        if matches engine_args_re line then pending := lineno :: !pending;
+        if matches deprecated_re line then block_deprecated := true)
+      (lines_of text);
+    flush ();
+    List.rev !hits
+  end
+
+let scan_file file text =
+  (* The retired checker ran only the val-block scan on interfaces. *)
+  if Filename.check_suffix file ".mli" then scan_mli file text
+  else scan_ml file text
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan roots =
+  (* The retired checker's runtest rule scanned lib/ only; bin, bench
+     and tools were never under its regexes (SA003/SA004 scope them out
+     deliberately), so the parity comparison is confined the same way. *)
+  Analyze.ocaml_sources roots
+  |> List.filter (fun file -> Source.in_lib (Source.classify file))
+  |> List.concat_map (fun file -> scan_file file (read_file file))
+
+let uncovered hits findings =
+  let covered (h : hit) =
+    List.exists
+      (fun (f : Finding.t) ->
+        String.equal f.Finding.file h.file && String.equal f.Finding.code h.code)
+      findings
+  in
+  List.filter (fun h -> not (covered h)) hits

@@ -1,0 +1,30 @@
+(** One-release parity bridge with the retired regex checker.
+
+    This module is a faithful library port of the line-regex invariants
+    [tools/check_sources.ml] used to enforce, mapped onto the SA codes
+    that superseded them. It exists for exactly one purpose: asserting
+    {b sslint ⊇ check_sources} on the live tree ({!uncovered}) and
+    letting the test suite prove the regexes' blind spots against the
+    adversarial fixtures. It ships for this release only; once the
+    parity test has aged one release, delete it together with this
+    notice. *)
+
+type hit = { file : string; line : int; code : string }
+(** [code] is the SA code the regex invariant maps to (SA001–SA005). *)
+
+val scan_file : string -> string -> hit list
+(** [scan_file path text] applies the ported regexes to [text] exactly
+    as the retired checker did (per line, same exemption lists, same
+    directory confinement). *)
+
+val scan : string list -> hit list
+(** {!scan_file} over the {e library} sources among
+    {!Analyze.ocaml_sources} of the given roots — the retired checker
+    only ever scanned [lib/], so the parity comparison keeps to the same
+    ground. *)
+
+val uncovered : hit list -> Finding.t list -> hit list
+(** Regex hits with no AST counterpart, compared at [(file, code)]
+    granularity — the AST rule may well place the finding on a different
+    line (it points at the identifier, not the line start). Empty means
+    sslint subsumes the regex checker on that tree. *)

@@ -1,0 +1,46 @@
+type t = {
+  code : string;
+  severity : Finding.severity;
+  title : string;
+  ported : bool;
+}
+
+let r code severity ported title = { code; severity; title; ported }
+
+let all =
+  [
+    r "SA000" Error false "source file does not parse";
+    r "SA001" Error true
+      "ambient randomness: Random referenced outside the seeded PRNG \
+       modules (alias- and open-robust)";
+    r "SA002" Error true
+      "top-level mutable Hashtbl outside the audited shared-state modules";
+    r "SA003" Error true
+      "library code terminates the process (exit, however spelled or split)";
+    r "SA004" Error true "socket primitive outside lib/serve";
+    r "SA005" Error true
+      "?jobs/?cache/?lint in a public interface outside lib/engine \
+       (non-deprecated val)";
+    r "SA006" Error false
+      "catch-all exception handler swallows Out_of_memory / Stack_overflow \
+       / Sys.Break";
+    r "SA007" Warning false
+      "resource acquisition (Unix.openfile/socket, Mutex.lock) in a binding \
+       without Fun.protect/Mutex.protect";
+    r "SA008" Warning false
+      "float equality: =/<>/==/compare against a non-zero float literal or \
+       float-annotated operand";
+    r "SA009" Error false "Marshal/Obj outside the audited allowlist";
+    r "SA010" Error false
+      "top-level mutable state (ref, Array.make, Buffer/Queue/Stack.create) \
+       outside the audited shared-state modules";
+    r "SA011" Warning false
+      "unused [@sslint.allow] suppression (nothing at this scope fires the \
+       code)";
+  ]
+
+let find code = List.find_opt (fun r -> String.equal r.code code) all
+let mem code = find code <> None
+
+let severity code =
+  match find code with Some r -> r.severity | None -> Finding.Error

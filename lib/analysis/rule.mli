@@ -1,0 +1,27 @@
+(** The SA-rule registry.
+
+    Stable codes, one entry per rule the AST engine ({!Rules})
+    implements, documented rule by rule in DESIGN.md ("Project static
+    analysis"). [SA001]–[SA005] are the AST-grade ports of the five
+    invariants the retired regex checker ([tools/check_sources.ml])
+    enforced; [SA006]+ are rules a line regex cannot express. *)
+
+type t = {
+  code : string;  (** stable code, e.g. ["SA001"] *)
+  severity : Finding.severity;
+  title : string;  (** one line, for the DESIGN.md table and [--rules] *)
+  ported : bool;
+      (** true when the rule ports a [check_sources.ml] regex invariant
+          (the {!Parity} reference implementation covers it) *)
+}
+
+val all : t list
+(** Every rule, in code order. Codes are unique; the test suite holds a
+    firing fixture against each one. *)
+
+val find : string -> t option
+val mem : string -> bool
+
+val severity : string -> Finding.severity
+(** Severity of a known code; [Error] for unknown ones (only reachable
+    through internal misuse, not user input). *)

@@ -1,0 +1,13 @@
+(** The AST rule implementations.
+
+    Each rule walks the parsetree ({!Ast_iterator}), so it matches
+    {e identifiers and structure}, not text: [module R = Random],
+    [open Random], a longident split across lines, or a binding with the
+    creation call on its own line all still fire, where the retired
+    regex checker went blind. String literals never fire a rule —
+    the analyzer can mention ["Random."] in its own sources safely. *)
+
+val check : Source.ctx -> Source.parsed -> Finding.t list
+(** All findings for one parsed file, deduplicated and in {!Finding.compare}
+    order. Suppressions are {e not} applied here — {!Analyze} filters
+    through {!Suppress} so unused suppressions can be detected. *)

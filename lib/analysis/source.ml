@@ -1,0 +1,81 @@
+type dir = Lib of string | Bin | Bench | Tools | Test
+type kind = Impl | Intf
+type ctx = { path : string; base : string; dir : dir; kind : kind }
+
+let split_components path =
+  String.split_on_char '/' path
+  |> List.concat_map (String.split_on_char '\\')
+  |> List.filter (fun c -> c <> "" && c <> "." && c <> "..")
+
+let classify path =
+  let base = Filename.basename path in
+  let kind = if Filename.check_suffix base ".mli" then Intf else Impl in
+  (* Walk the components, keeping the last role marker; a [lib] marker
+     also captures the component right after it as the sub-library. *)
+  let rec roles acc = function
+    | [] -> acc
+    | "lib" :: rest ->
+      let sub =
+        match rest with
+        | next :: _ when not (String.contains next '.') -> next
+        | _ -> ""
+      in
+      roles (Lib sub) rest
+    | "bin" :: rest -> roles Bin rest
+    | "bench" :: rest -> roles Bench rest
+    | "tools" :: rest -> roles Tools rest
+    | "test" :: rest -> roles Test rest
+    | _ :: rest -> roles acc rest
+  in
+  let dir = roles (Lib "") (split_components path) in
+  { path; base; dir; kind }
+
+let in_lib ctx = match ctx.dir with Lib _ -> true | _ -> false
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+let finding_of_location ctx loc fmt =
+  let pos = loc.Location.loc_start in
+  Finding.make ~code:"SA000" Finding.Error ~file:ctx.path
+    ~line:pos.Lexing.pos_lnum
+    ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+    fmt
+
+let parse ctx text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf ctx.path;
+  match
+    match ctx.kind with
+    | Impl -> Structure (Parse.implementation lexbuf)
+    | Intf -> Signature (Parse.interface lexbuf)
+  with
+  | parsed -> Ok parsed
+  | exception Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    Error (finding_of_location ctx loc "syntax error")
+  | exception ((Out_of_memory | Stack_overflow | Sys.Break) as fatal) ->
+    raise fatal
+  | exception exn ->
+    (* The lexer raises its own (unstable) exception type; report it at
+       the position the lexer stopped at. *)
+    let loc = Location.curr lexbuf in
+    Error
+      (finding_of_location ctx loc "does not parse: %s"
+         (Printexc.to_string exn))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let ctx = classify path in
+  match read_file path with
+  | text -> Result.map (fun p -> (ctx, p)) (parse ctx text)
+  | exception Sys_error msg ->
+    Error
+      (Finding.make ~code:"SA000" Finding.Error ~file:path ~line:1 ~col:0
+         "unreadable: %s" msg)

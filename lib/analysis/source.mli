@@ -1,0 +1,49 @@
+(** Loading and classifying project sources for analysis.
+
+    Files are parsed with the compiler's own front end
+    ([compiler-libs.common]), so every rule sees the real abstract
+    syntax — aliases, [open]s and arbitrary layout cannot defeat a rule
+    the way they defeated the retired line-regex checker.
+
+    Rules scope by {e directory role}, recovered from the path: a file
+    under a [lib] component is library code (with its sub-library name,
+    e.g. [lib/serve] → [Lib "serve"]), [bin]/[bench]/[tools] are the
+    executables. A path with no recognizable component classifies as
+    [Lib ""] — the strictest role — so fixtures and odd invocations err
+    toward checking more, not less. *)
+
+type dir =
+  | Lib of string  (** sub-library directory name, [""] at [lib/] root *)
+  | Bin
+  | Bench
+  | Tools
+  | Test
+
+type kind = Impl  (** [.ml] *) | Intf  (** [.mli] *)
+
+type ctx = {
+  path : string;  (** as given *)
+  base : string;  (** [Filename.basename path] *)
+  dir : dir;
+  kind : kind;
+}
+
+val classify : string -> ctx
+(** Classification is purely lexical on the path components; the last
+    matching role component wins ([test/analysis/fixtures/lib/x.ml] is
+    library-scoped). *)
+
+val in_lib : ctx -> bool
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+val parse : ctx -> string -> (parsed, Finding.t) result
+(** Parses the given source text. A syntax (or lexer) error becomes an
+    [SA000] finding at the failure position; asynchronous exceptions
+    ([Out_of_memory], [Stack_overflow], [Sys.Break]) re-raise. *)
+
+val load : string -> (ctx * parsed, Finding.t) result
+(** {!classify}, read and {!parse} one file; an unreadable file is an
+    [SA000] finding naming the [Sys_error]. *)

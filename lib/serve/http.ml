@@ -212,6 +212,9 @@ let read_request ?(max_header = 16 * 1024) ~max_body fd =
     Ok { meth; path; query; headers; body }
   with
   | Reject resp -> Error resp
+  | (Out_of_memory | Stack_overflow | Sys.Break) as fatal ->
+    (* A wedged runtime (or Ctrl-C) must not read as "bad client". *)
+    raise fatal
   | _ -> Error (error 400 "malformed request")
 
 (* --- writing --- *)

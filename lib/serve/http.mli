@@ -46,7 +46,10 @@ val read_request :
     times out (the descriptor's [SO_RCVTIMEO] fires), 411 for a missing
     [Content-Length] on a method with a body, 413 when the declared body
     exceeds [max_body], 431 when the header block exceeds [max_header]
-    (default 16 KiB), 501 for chunked transfer coding. Never raises. *)
+    (default 16 KiB), 501 for chunked transfer coding. Never raises —
+    except the fatal runtime conditions ([Out_of_memory],
+    [Stack_overflow], [Sys.Break]), which propagate rather than
+    masquerade as a client error. *)
 
 val write_response : Unix.file_descr -> response -> unit
 (** Serializes the response with [Content-Length] and

@@ -1,6 +1,13 @@
 open Storage_units
 open Storage_model
 
+(* Audited SA007 suppression: the daemon's lock/unlock pairs follow the
+   queue-and-condition protocol (Condition.wait must run with the lock
+   held and reacquires it on return), which Mutex.protect cannot
+   express, and the listening socket deliberately outlives every
+   binding that touches it. *)
+[@@@sslint.allow "SA007"]
+
 type config = {
   port : int;
   workers : int;
@@ -164,6 +171,19 @@ let route t (req : Http.request) =
     Http.error 405 (Printf.sprintf "method %s not allowed here" req.meth)
   | _, path -> Http.error 404 (Printf.sprintf "no such endpoint %S" path)
 
+(* One broken request must never take the daemon (or even this worker)
+   down: anything a handler throws becomes a 500. Anything, that is,
+   except the fatal runtime conditions — turning Out_of_memory or
+   Stack_overflow into an HTTP response would leave a wedged runtime
+   serving traffic, and swallowing Sys.Break would make the daemon
+   unkillable from a terminal. Those re-raise. *)
+let guard_route f =
+  try f () with
+  | (Out_of_memory | Stack_overflow | Sys.Break) as fatal -> raise fatal
+  | exn ->
+    Storage_obs.Counter.incr obs_errors;
+    Http.error 500 (Printexc.to_string exn)
+
 let handle_connection t fd =
   (match Http.read_request ~max_body:t.cfg.max_body fd with
   | Error resp ->
@@ -173,12 +193,7 @@ let handle_connection t fd =
     Storage_obs.Counter.incr obs_requests;
     let resp =
       Storage_obs.Timer.time obs_request_time @@ fun () ->
-      (* One broken request must never take the daemon (or even this
-         worker) down: anything a handler throws becomes a 500. *)
-      try route t req
-      with exn ->
-        Storage_obs.Counter.incr obs_errors;
-        Http.error 500 (Printexc.to_string exn)
+      guard_route (fun () -> route t req)
     in
     Http.write_response fd resp);
   try Unix.close fd with Unix.Unix_error _ -> ()

@@ -49,6 +49,15 @@ val default_config : config
 
 type t
 
+val guard_route : (unit -> Http.response) -> Http.response
+(** The worker-loop exception barrier: runs a request handler, turning
+    anything it throws into a [500] so one broken request never takes a
+    worker down — except the fatal runtime conditions [Out_of_memory],
+    [Stack_overflow] and [Sys.Break], which re-raise. A wedged runtime
+    must not keep serving traffic, and Ctrl-C must keep working.
+    Exposed for the regression tests; {e not} part of the service's
+    client-facing surface. *)
+
 val start : ?config:config -> Storage_engine.t -> t
 (** Binds [127.0.0.1:port], spawns the acceptor and worker domains and
     returns immediately. The engine must outlive the server; {!stop}

@@ -2,7 +2,7 @@
 
    [Random.State] here is explicitly seeded by every caller (no ambient
    state is ever read), so the determinism invariant holds; the module is
-   exempted by name in tools/check_sources.ml. The draw procedure is kept
+   exempted by name from sslint's SA001 rule. The draw procedure is kept
    byte-for-byte faithful to the hand-rolled loops it replaced
    (test_parallel/test_engine), so historical seeds keep reproducing the
    same candidate lists. *)

@@ -1,0 +1,5 @@
+val tune : ?jobs:int -> unit -> unit
+(** Regex blind spot: the retired val-block scan exempted any block
+    whose text mentions the marker — including this doc comment, which
+    merely talks about [@@deprecated] without carrying the attribute.
+    The AST rule reads the real attribute list and still fires. *)

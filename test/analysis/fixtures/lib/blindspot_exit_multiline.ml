@@ -1,0 +1,10 @@
+(* Regex blind spots for the no-exit invariant, which matched
+   per line: a longident split across lines, and an argument that is
+   neither a digit nor an opening parenthesis. *)
+
+let quit () =
+  Stdlib.
+  exit
+    0
+
+let quit_with code = exit code

@@ -1,0 +1,7 @@
+(* Regex blind spot: the retired checker matched the literal substring
+   ["Random" ^ "."], which never appears below — the module alias hides
+   it. The AST rule sees the module path itself. *)
+
+module R = Random
+
+let draw () = R.int 6

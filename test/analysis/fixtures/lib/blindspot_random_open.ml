@@ -1,0 +1,6 @@
+(* Regex blind spot: [open] plus a bare call — no dotted path anywhere
+   for a substring match to find. *)
+
+open Random
+
+let draw () = int 6

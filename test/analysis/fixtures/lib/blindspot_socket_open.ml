@@ -1,0 +1,6 @@
+(* Regex blind spot: the socket-confinement regex matched dotted
+   [Unix.]-prefixed calls only; a local open leaves the primitive bare. *)
+
+let make_socket () =
+  let open Unix in
+  socket PF_INET SOCK_STREAM 0

@@ -1,0 +1,12 @@
+(* Ordinary library code: pure, local state only, specific handlers. *)
+
+let rec fold f acc = function [] -> acc | x :: xs -> fold f (f acc x) xs
+
+let total xs = fold ( + ) 0 xs
+
+let mean xs =
+  match xs with
+  | [] -> None
+  | xs -> Some (float_of_int (total xs) /. float_of_int (List.length xs))
+
+let parse_int s = match int_of_string_opt s with Some n -> n | None -> 0

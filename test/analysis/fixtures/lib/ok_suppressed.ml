@@ -1,0 +1,5 @@
+(* A used suppression: the exit would be SA003, the allow covers it, and
+   because it suppressed something there is no SA011 either. The file
+   analyzes clean. *)
+
+let[@sslint.allow "SA003"] quit code = exit code

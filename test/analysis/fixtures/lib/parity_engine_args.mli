@@ -1,0 +1,3 @@
+val evaluate : ?jobs:int -> ?cache:bool -> string -> int
+(** Plain firing: both the retired val-block scan and SA005 see this
+    interface (twice — once per engine-context argument). *)

@@ -1,0 +1,3 @@
+(* Plain firing: both the retired regex and SA003 see this one. *)
+
+let die () = Stdlib.exit 1

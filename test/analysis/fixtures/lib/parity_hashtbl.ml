@@ -1,0 +1,4 @@
+(* Plain firing: both the retired regex and SA002 see this one. *)
+
+let tbl = Hashtbl.create 16
+let remember k v = Hashtbl.replace tbl k v

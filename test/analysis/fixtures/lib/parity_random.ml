@@ -1,0 +1,3 @@
+(* Plain firing: both the retired regex and SA001 see this one. *)
+
+let roll () = Random.int 6

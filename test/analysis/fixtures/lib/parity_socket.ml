@@ -1,0 +1,4 @@
+(* Plain firing: both the retired regex and SA004 see this one (the
+   unprotected acquisition additionally draws SA007). *)
+
+let make () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0

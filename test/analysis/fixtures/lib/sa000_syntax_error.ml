@@ -1,0 +1,4 @@
+(* Not OCaml from here on: the analyzer must degrade to one SA000
+   finding, not crash or silently skip the file. *)
+
+let broken = (

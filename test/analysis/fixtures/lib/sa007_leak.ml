@@ -1,0 +1,19 @@
+(* An acquisition with a hand-rolled release: the close on the happy
+   path does not run when [Unix.read] raises, so the descriptor leaks. *)
+
+let read_some path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create 4096 in
+  let n = Unix.read fd buf 0 4096 in
+  Unix.close fd;
+  Bytes.sub_string buf 0 n
+
+(* The fixed shape. Must NOT fire. *)
+let read_some_fixed path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let buf = Bytes.create 4096 in
+      let n = Unix.read fd buf 0 4096 in
+      Bytes.sub_string buf 0 n)

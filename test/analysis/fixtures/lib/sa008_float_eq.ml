@@ -1,0 +1,8 @@
+(* Exact float comparison: representation error makes [=] against a
+   non-zero literal a latent always-false (or flaky) test. *)
+
+let is_pi x = x = 3.14159
+let same x y = compare (x : float) y = 0
+
+(* Comparing against zero is exact and idiomatic. Must NOT fire. *)
+let is_zero x = x = 0.

@@ -1,0 +1,13 @@
+(* Top-level mutable state beyond tables: created at module init, so it
+   is shared by every domain that touches the library. *)
+
+let counter = ref 0
+let scratch = Buffer.create 64
+
+let next () =
+  incr counter;
+  Buffer.clear scratch;
+  !counter
+
+(* Function-local state is per call. Must NOT fire. *)
+let fresh () = ref 0

@@ -1,0 +1,6 @@
+(* A stale file-wide suppression: nothing below touches Marshal or Obj,
+   so the allow itself is reported. *)
+
+[@@@sslint.allow "SA009"]
+
+let id x = x

@@ -97,3 +97,10 @@ A name that is neither a file nor a preset is a usage error:
   $ ssdep lint nonesuch
   ssdep: unknown design "nonesuch"; available: baseline, weekly vault, weekly vault, F+I, weekly vault, daily F, weekly vault, daily F, snapshot, asyncB mirror, 1 link, asyncB mirror, 10 links (and no such file)
   [2]
+
+Two linters, two subjects — `ssdep lint` checks storage designs, the
+separate `sslint` tool checks the project's own OCaml sources. The help
+text pins the distinction:
+
+  $ ssdep lint --help=plain | grep -c "sslint"
+  1

@@ -1,0 +1,180 @@
+(* The project source analyzer (lib/analysis, sslint): rule coverage
+   over the fixture tree, the regex checker's blind spots proven
+   fixture by fixture, parity with the retired checker on the live
+   tree, and a full self-scan — the analyzer's rules hold over this
+   repository's own lib/, bin/, bench/ and tools/. *)
+
+module A = Storage_analysis
+
+let t name f = Alcotest.test_case name `Quick f
+let fixtures = "analysis/fixtures"
+let fixture name = Filename.concat (Filename.concat fixtures "lib") name
+let codes_of findings = List.map (fun f -> f.A.Finding.code) findings
+
+let sorted_uniq_codes findings =
+  List.sort_uniq String.compare (codes_of findings)
+
+(* --- registry / fixture coverage ---------------------------------- *)
+
+let test_every_rule_has_a_firing_fixture () =
+  let report = A.Analyze.paths [ fixtures ] in
+  let fired = sorted_uniq_codes report.A.Analyze.findings in
+  List.iter
+    (fun (r : A.Rule.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fires somewhere under fixtures/" r.A.Rule.code)
+        true
+        (List.mem r.A.Rule.code fired))
+    A.Rule.all
+
+let test_registry_codes_unique_and_known () =
+  let codes = List.map (fun (r : A.Rule.t) -> r.A.Rule.code) A.Rule.all in
+  Alcotest.(check int)
+    "codes are unique"
+    (List.length codes)
+    (List.length (List.sort_uniq String.compare codes));
+  let report = A.Analyze.paths [ fixtures ] in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding code %s is registered" code)
+        true (A.Rule.mem code))
+    (sorted_uniq_codes report.A.Analyze.findings)
+
+(* --- the regex checker's blind spots ------------------------------ *)
+
+(* Each fixture defeats the retired line regexes (the faithful Parity
+   port finds nothing) while the AST rule still fires. *)
+let blindspots =
+  [
+    ("blindspot_random_alias.ml", "SA001");
+    ("blindspot_random_open.ml", "SA001");
+    ("blindspot_exit_multiline.ml", "SA003");
+    ("blindspot_hashtbl_layout.ml", "SA002");
+    ("blindspot_socket_open.ml", "SA004");
+    ("blindspot_deprecated_doc.mli", "SA005");
+  ]
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_blindspots_regex_misses_ast_fires () =
+  List.iter
+    (fun (name, code) ->
+      let path = fixture name in
+      let regex_hits = A.Parity.scan_file path (read_file path) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: the retired regexes see nothing" name)
+        0 (List.length regex_hits);
+      let ast_codes = codes_of (A.Analyze.file path) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: the AST rule fires %s" name code)
+        true (List.mem code ast_codes))
+    blindspots
+
+let test_parity_fixtures_covered_hit_for_hit () =
+  (* Where the regexes do fire, the AST rules cover every hit. *)
+  let hits = A.Parity.scan [ fixtures ] in
+  Alcotest.(check bool) "the plain parity fixtures trip the regexes" true
+    (List.length hits >= 5);
+  let findings = (A.Analyze.paths [ fixtures ]).A.Analyze.findings in
+  let stale = A.Parity.uncovered hits findings in
+  Alcotest.(check int) "no regex hit lacks an AST counterpart" 0
+    (List.length stale)
+
+(* --- suppressions ------------------------------------------------- *)
+
+let test_used_suppression_is_silent () =
+  Alcotest.(check (list string))
+    "a used [@sslint.allow] yields no findings and no SA011" []
+    (codes_of (A.Analyze.file (fixture "ok_suppressed.ml")))
+
+let test_unused_suppression_reports_sa011 () =
+  Alcotest.(check (list string))
+    "a stale allow is exactly one SA011" [ "SA011" ]
+    (codes_of (A.Analyze.file (fixture "sa011_unused_allow.ml")))
+
+(* --- scoping ------------------------------------------------------ *)
+
+let test_serve_scope_allows_sockets () =
+  Alcotest.(check (list string))
+    "sockets under a serve directory are in scope" []
+    (codes_of
+       (A.Analyze.file
+          (Filename.concat fixtures (Filename.concat "lib/serve" "ok_socket.ml"))))
+
+let test_classify () =
+  let dir path = (A.Source.classify path).A.Source.dir in
+  Alcotest.(check bool) "lib/serve" true (dir "lib/serve/http.ml" = Lib "serve");
+  Alcotest.(check bool) "lib root" true (dir "lib/top.ml" = Lib "");
+  Alcotest.(check bool) "bin" true (dir "bin/ssdep.ml" = Bin);
+  Alcotest.(check bool) "bench" true (dir "bench/main.ml" = Bench);
+  Alcotest.(check bool) "tools" true (dir "tools/sslint.ml" = Tools);
+  Alcotest.(check bool) "fixtures reclassify as lib" true
+    (dir "analysis/fixtures/lib/x.ml" = Lib "");
+  Alcotest.(check bool) "unrecognized paths default to strict lib" true
+    (dir "scratch/thing.ml" = Lib "")
+
+(* --- exit codes (the ssdep lint contract) ------------------------- *)
+
+let test_exit_codes () =
+  let err = A.Finding.make ~code:"SA003" A.Finding.Error ~file:"f" ~line:1 ~col:0 "e"
+  and warn =
+    A.Finding.make ~code:"SA007" A.Finding.Warning ~file:"f" ~line:1 ~col:0 "w"
+  in
+  Alcotest.(check int) "clean" 0 (A.Finding.exit_code []);
+  Alcotest.(check int) "warnings pass by default" 0 (A.Finding.exit_code [ warn ]);
+  Alcotest.(check int) "warnings fail under deny" 1
+    (A.Finding.exit_code ~deny_warnings:true [ warn ]);
+  Alcotest.(check int) "errors dominate" 2
+    (A.Finding.exit_code ~deny_warnings:true [ warn; err ])
+
+(* --- the tree itself ---------------------------------------------- *)
+
+let tree_roots = [ "../lib"; "../bin"; "../bench"; "../tools" ]
+
+let test_self_scan_clean () =
+  let report = A.Analyze.paths tree_roots in
+  Alcotest.(check bool) "scanned a real tree" true (report.A.Analyze.files > 100);
+  Alcotest.(check (list string))
+    "lib/ bin/ bench/ tools/ carry no findings (errors or warnings)" []
+    (List.map
+       (fun f -> Printf.sprintf "%s:%d %s" f.A.Finding.file f.A.Finding.line f.A.Finding.code)
+       report.A.Analyze.findings)
+
+let test_live_tree_parity () =
+  let findings = (A.Analyze.paths tree_roots).A.Analyze.findings in
+  let stale = A.Parity.uncovered (A.Parity.scan tree_roots) findings in
+  Alcotest.(check int)
+    "every retired-regex hit on the live tree has an AST counterpart" 0
+    (List.length stale)
+
+let suite =
+  [
+    ( "analysis.rules",
+      [
+        t "every SA rule has a firing fixture" test_every_rule_has_a_firing_fixture;
+        t "registry codes unique; all emitted codes registered"
+          test_registry_codes_unique_and_known;
+        t "regex blind spots: parity port misses, AST fires"
+          test_blindspots_regex_misses_ast_fires;
+        t "parity fixtures covered hit for hit"
+          test_parity_fixtures_covered_hit_for_hit;
+      ] );
+    ( "analysis.suppress",
+      [
+        t "used suppression is silent" test_used_suppression_is_silent;
+        t "unused suppression reports SA011" test_unused_suppression_reports_sa011;
+      ] );
+    ( "analysis.scope",
+      [
+        t "serve scope allows sockets" test_serve_scope_allows_sockets;
+        t "path classification" test_classify;
+        t "exit codes match ssdep lint" test_exit_codes;
+      ] );
+    ( "analysis.tree",
+      [
+        t "self-scan: the project sources are clean" test_self_scan_clean;
+        t "parity: sslint covers the retired checker on the live tree"
+          test_live_tree_parity;
+      ] );
+  ]

@@ -10,4 +10,4 @@ let () =
    @ Test_random_designs.suite
    @ Test_parallel.suite @ Test_engine.suite @ Test_report.suite
    @ Test_obs.suite @ Test_testkit.suite @ Test_legacy_equiv.suite
-   @ Test_serve.suite)
+   @ Test_serve.suite @ Test_analysis.suite)

@@ -232,6 +232,26 @@ let malformed_cases =
       400 );
   ]
 
+(* The worker-loop exception barrier: handler exceptions become a 500,
+   but the fatal runtime conditions re-raise — a wedged runtime must not
+   keep serving, and Ctrl-C must keep working (the bug this regresses:
+   the old catch-all turned Out_of_memory into an HTTP response). *)
+let test_guard_route_fatal_exceptions () =
+  let resp = Server.guard_route (fun () -> Storage_serve.Http.ok_text "fine") in
+  Alcotest.(check int) "pass-through status" 200 resp.Storage_serve.Http.status;
+  let resp = Server.guard_route (fun () -> failwith "handler bug") in
+  Alcotest.(check int) "handler exception becomes 500" 500
+    resp.Storage_serve.Http.status;
+  List.iter
+    (fun (name, exn) ->
+      Alcotest.check_raises name exn (fun () ->
+          ignore (Server.guard_route (fun () -> raise exn))))
+    [
+      ("Out_of_memory re-raises", Out_of_memory);
+      ("Stack_overflow re-raises", Stack_overflow);
+      ("Sys.Break re-raises", Sys.Break);
+    ]
+
 let test_malformed_requests_isolated () =
   with_server @@ fun port ->
   List.iter
@@ -426,6 +446,8 @@ let suite =
       ] );
     ( "serve.robustness",
       [
+        t "guard_route: 500 for handler bugs, fatal exceptions re-raise"
+          test_guard_route_fatal_exceptions;
         t "malformed requests isolated (one per failure mode)"
           test_malformed_requests_isolated;
         t "seeded fuzz: raw payloads and framed bodies"

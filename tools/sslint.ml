@@ -1,0 +1,91 @@
+(* sslint — the project's own source analyzer.
+
+   Parses every .ml/.mli under the given paths with the compiler's
+   front end and runs the SA rules (lib/analysis); see DESIGN.md
+   "Project static analysis" for the rule table. Distinct from
+   [ssdep lint], which checks storage *designs*, not sources.
+
+   Usage: sslint [--json] [--deny-warnings] [--parity] [--rules] [PATH...]
+
+   Exit codes match ssdep lint: 2 on errors (or usage error), 1 on
+   warnings under --deny-warnings, 0 clean. *)
+
+module A = Storage_analysis
+
+let usage =
+  "usage: sslint [--json] [--deny-warnings] [--parity] [--rules] [PATH...]\n\
+   Analyzes project OCaml sources (default paths: lib bin bench tools)."
+
+let () =
+  let json = ref false
+  and deny_warnings = ref false
+  and parity = ref false
+  and rules = ref false
+  and paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " machine-readable report on stdout");
+      ( "--deny-warnings",
+        Arg.Set deny_warnings,
+        " exit 1 when only warnings are found" );
+      ( "--parity",
+        Arg.Set parity,
+        " also assert sslint covers every retired check_sources regex hit" );
+      ("--rules", Arg.Set rules, " list the SA rules and exit");
+    ]
+  in
+  (try Arg.parse_argv Sys.argv (Arg.align spec)
+         (fun p -> paths := p :: !paths) usage
+   with
+  | Arg.Bad msg ->
+    prerr_string msg;
+    exit 2
+  | Arg.Help msg ->
+    print_string msg;
+    exit 0);
+  if !rules then begin
+    List.iter
+      (fun (r : A.Rule.t) ->
+        Printf.printf "%s  %-7s %s%s\n" r.code
+          (Storage_lint.Diagnostic.severity_name r.severity)
+          r.title
+          (if r.ported then "  [ported from check_sources]" else ""))
+      A.Rule.all;
+    exit 0
+  end;
+  let roots =
+    match List.rev !paths with
+    | [] -> [ "lib"; "bin"; "bench"; "tools" ]
+    | roots -> roots
+  in
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "sslint: no such path %s\n" root;
+        exit 2
+      end)
+    roots;
+  let report = A.Analyze.paths roots in
+  let findings = report.A.Analyze.findings in
+  if !json then
+    print_endline
+      (Storage_report.Json.to_string_pretty
+         (A.Finding.to_json ~files:report.A.Analyze.files findings))
+  else
+    Fmt.pr "%a@."
+      (A.Finding.pp_report ~files:report.A.Analyze.files)
+      findings;
+  if !parity then begin
+    let stale = A.Parity.uncovered (A.Parity.scan roots) findings in
+    if stale <> [] then begin
+      List.iter
+        (fun (h : A.Parity.hit) ->
+          Printf.eprintf
+            "sslint --parity: %s:%d: retired regex hit (%s) has no AST \
+             counterpart\n"
+            h.A.Parity.file h.A.Parity.line h.A.Parity.code)
+        stale;
+      exit 2
+    end
+  end;
+  exit (A.Finding.exit_code ~deny_warnings:!deny_warnings findings)
