@@ -33,6 +33,10 @@ type tier = {
       (** floor on cold single-shot `ssdep evaluate` wall time over the
           daemon's warm-cache /evaluate p50; the gate auto-skips when
           [SSDEP_BIN] is not set (no CLI binary to time) *)
+  fleet_trials : int;  (** Monte Carlo trials for the fleet gate *)
+  min_fleet_trials_per_sec : float;
+      (** serial fleet Monte Carlo throughput floor on the baseline
+          preset (5-year horizon) *)
 }
 
 (* ~2k candidates: fast enough for every `dune runtest`, coarse floors
@@ -46,6 +50,8 @@ let smoke =
     min_parallel_speedup = 1.0;
     max_peak_live_words = 450_000;
     min_serve_warm_speedup = 1.5;
+    fleet_trials = 200;
+    min_fleet_trials_per_sec = 250.;
   }
 
 (* The 131k-candidate sweep of BENCH_stream.json (scale 8): the nightly
@@ -60,4 +66,6 @@ let full =
     min_parallel_speedup = 2.0;
     max_peak_live_words = 650_000;
     min_serve_warm_speedup = 2.0;
+    fleet_trials = 1000;
+    min_fleet_trials_per_sec = 500.;
   }

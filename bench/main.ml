@@ -645,9 +645,7 @@ let stream_bench () =
      materialize every summary — the cost the streaming path removes.) *)
   let r_mat, t_mat, peak_mat =
     measure (Printf.sprintf "materialized, %d candidates, serial" n_small)
-      (fun () ->
-        (Search.legacy_run (List.of_seq small) scenarios
-         [@alert "-deprecated"]))
+      (fun () -> Search.run_materialized (List.of_seq small) scenarios)
   in
   let bytes x = Marshal.to_string x [ Marshal.No_sharing ] in
   let identical =
@@ -710,6 +708,90 @@ let stream_bench () =
       output_char oc '\n');
   print_endline "  wrote BENCH_stream.json";
   if not (identical && within_2x) then exit 1
+
+(* --- fleet Monte Carlo benchmark --- *)
+
+(* [bench/main.exe fleet]: the fleet-scale availability record — 1000
+   five-year trials per preset design, serial and at 4 domains, with the
+   full report and the measured trials/s — written to BENCH_fleet.json.
+   The serial and 4-domain reports must render to identical JSON (the
+   jobs-invariance contract); the record carries the comparison. The
+   fleet-trials-per-sec gate of [--check] reruns the baseline preset
+   against the committed floor. *)
+
+let fleet_designs =
+  [
+    ("baseline", Baseline.design);
+    ("async_mirror_x10", Whatif.async_mirror ~links:10);
+    ("erasure_6_of_9", Whatif.erasure_coded ~fragments:9 ~required:6 ~links:10);
+  ]
+
+let fleet_bench () =
+  let module J = Storage_report.Json in
+  let module Fleet = Storage_fleet.Fleet in
+  let config = Fleet.config ~trials:1000 ~horizon_years:5. () in
+  let cores = Storage_parallel.Pool.default_jobs () in
+  Printf.printf
+    "Fleet Monte Carlo benchmark: %d trials x %.0f-year horizon per design \
+     (%d core(s))\n"
+    config.Fleet.trials
+    (Duration.to_years config.Fleet.horizon)
+    cores;
+  let ok = ref true in
+  let runs =
+    List.map
+      (fun (name, d) ->
+        let run ~jobs () =
+          Storage_engine.with_engine ~jobs (fun engine ->
+              Fleet.run ~engine ~config d)
+        in
+        let t0 = Unix.gettimeofday () in
+        let serial = run ~jobs:1 () in
+        let t_serial = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let par = run ~jobs:4 () in
+        let t_par = Unix.gettimeofday () -. t1 in
+        let identical =
+          String.equal
+            (J.to_string (Fleet.to_json serial))
+            (J.to_string (Fleet.to_json par))
+        in
+        if not identical then ok := false;
+        let tps = float_of_int config.Fleet.trials /. t_serial in
+        Printf.printf
+          "  %-18s serial %8.1f ms (%7.1f trials/s)   4 domains %8.1f ms \
+           (%.2fx)%s%s\n"
+          name (t_serial *. 1e3) tps (t_par *. 1e3) (t_serial /. t_par)
+          (if 4 > cores then "  [more domains than cores]" else "")
+          (if identical then "" else "  JOBS-VARIANT!");
+        J.Obj
+          [
+            ("design", J.String name);
+            ("serial_seconds", J.Float t_serial);
+            ("trials_per_sec", J.Float tps);
+            ("four_domain_seconds", J.Float t_par);
+            ("speedup", J.Float (t_serial /. t_par));
+            ("jobs_invariant", J.Bool identical);
+            ("report", Fleet.to_json serial);
+          ])
+      fleet_designs
+  in
+  let json =
+    J.Obj
+      [
+        ("mode", J.String "fleet");
+        ("trials", J.Int config.Fleet.trials);
+        ("horizon_years", J.Float (Duration.to_years config.Fleet.horizon));
+        ("seed", J.String (Int64.to_string config.Fleet.seed));
+        ("cores", J.Int cores);
+        ("runs", J.List runs);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_fleet.json" (fun oc ->
+      output_string oc (J.to_string_pretty json);
+      output_char oc '\n');
+  print_endline "  wrote BENCH_fleet.json";
+  if not !ok then exit 1
 
 (* --- evaluation-service load generator --- *)
 
@@ -1034,7 +1116,28 @@ let check_bench ~smoke () =
       ~ok:(!peak <= b.Baselines.max_peak_live_words)
       ~unit_:"words"
   in
-  (* Gate 4 — the daemon's reason to exist: warm-cache /evaluate p50
+  (* Gate 4 — fleet Monte Carlo throughput: serial trials/s of the
+     baseline preset. Regressions in the trace sampler, the degenerate
+     single-event reduction or the event-driven simulator's hot loop
+     (e.g. a reintroduced sub-ulp advance stall) land here. *)
+  let ok_fleet =
+    let fleet_config =
+      Storage_fleet.Fleet.config ~trials:b.Baselines.fleet_trials
+        ~horizon_years:5. ()
+    in
+    let t_fleet =
+      time_best_of ~repeats:(if smoke then 2 else 3) (fun () ->
+          Storage_engine.with_engine ~jobs:1 (fun engine ->
+              Storage_fleet.Fleet.run ~engine ~config:fleet_config
+                Baseline.design))
+    in
+    let tps = float_of_int b.Baselines.fleet_trials /. t_fleet in
+    gate "fleet-trials-per-sec" ~measured:tps
+      ~threshold:b.Baselines.min_fleet_trials_per_sec
+      ~ok:(tps >= b.Baselines.min_fleet_trials_per_sec)
+      ~unit_:"trials/s"
+  in
+  (* Gate 5 — the daemon's reason to exist: warm-cache /evaluate p50
      must beat the cold single-shot CLI wall time by the committed
      factor. Runs last: [Server.start] flips the obs registry on, which
      must not perturb the gates above. Skipped when SSDEP_BIN does not
@@ -1067,7 +1170,7 @@ let check_bench ~smoke () =
           ~ok:(speedup >= b.Baselines.min_serve_warm_speedup)
           ~unit_:"x"
   in
-  let pass = ok_throughput && ok_speedup && ok_peak && ok_serve in
+  let pass = ok_throughput && ok_speedup && ok_peak && ok_fleet && ok_serve in
   let json =
     J.Obj
       [
@@ -1189,6 +1292,7 @@ let () =
   | _ :: [ "pareto" ] -> pareto ()
   | _ :: [ "parallel" ] -> parallel_bench ()
   | _ :: [ "stream" ] -> stream_bench ()
+  | _ :: [ "fleet" ] -> fleet_bench ()
   | _ :: [ "serve" ] -> serve_bench ()
   | _ :: ([ "--check" ] | [ "check" ]) -> check_bench ~smoke:false ()
   | _ :: ([ "--check"; "--smoke" ] | [ "check"; "smoke" ]) ->

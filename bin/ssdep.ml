@@ -776,6 +776,153 @@ let risk_cmd =
   in
   Cmd.v info Term.(term_result' term)
 
+(* --- fleet --- *)
+
+let fleet_cmd =
+  let module Fleet = Storage_fleet.Fleet in
+  (* The what-if designs plus an m-of-n erasure preset, so the fleet
+     command can exercise the technique Table 7 never evaluated. *)
+  let fleet_designs =
+    designs
+    @ [ ("erasure", Whatif.erasure_coded ~fragments:9 ~required:6 ~links:10) ]
+  in
+  let design_arg =
+    let doc =
+      Printf.sprintf "Design to evaluate. One of: %s."
+        (String.concat ", "
+           (List.map (fun (n, _) -> Printf.sprintf "$(b,%s)" n) fleet_designs))
+    in
+    Arg.(
+      value & opt string "baseline" & info [ "d"; "design" ] ~docv:"NAME" ~doc)
+  in
+  let trials_arg =
+    let doc = "Monte-Carlo trials (independent sampled failure traces)." in
+    Arg.(value & opt positive_int_conv 1000 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Operating horizon simulated by each trial, in years." in
+    Arg.(value & opt float 5. & info [ "horizon-years" ] ~docv:"YEARS" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Master seed (decimal or 0x-hex). Every trial's trace derives from \
+       it through one splitmix64 stream, so a fixed seed reproduces the \
+       report byte-for-byte whatever $(b,--jobs) is."
+    in
+    let seed_conv =
+      let parse s =
+        match Int64.of_string_opt s with
+        | Some n -> Ok n
+        | None ->
+          Error (`Msg (Printf.sprintf "invalid seed %S, expected an integer" s))
+      in
+      Arg.conv (parse, fun ppf n -> Fmt.pf ppf "0x%Lx" n)
+    in
+    Arg.(value & opt seed_conv 0xCA5CADEL & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let afr_arg =
+    let doc = "Annualized failure rate per device (fraction per year)." in
+    Arg.(value & opt float 0.02 & info [ "afr" ] ~docv:"RATE" ~doc)
+  in
+  let building_arg =
+    let doc = "Correlated whole-building failures per building per year." in
+    Arg.(
+      value & opt float 0.005 & info [ "building-per-year" ] ~docv:"RATE" ~doc)
+  in
+  let site_arg =
+    let doc = "Correlated site disasters per site per year." in
+    Arg.(value & opt float 0.002 & info [ "site-per-year" ] ~docv:"RATE" ~doc)
+  in
+  let sweep_arg =
+    let doc =
+      "Instead of one design, sweep the m-of-n erasure-coding parameters: \
+       a comma-separated list of $(i,m):$(i,n) pairs (fragments needed : \
+       fragments stored), e.g. $(b,6:9,9:12,12:16)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "erasure-sweep" ] ~docv:"PAIRS" ~doc)
+  in
+  let parse_sweep s =
+    let pair p =
+      match String.split_on_char ':' p with
+      | [ m; n ] -> (
+        match (int_of_string_opt (String.trim m), int_of_string_opt (String.trim n)) with
+        | Some m, Some n when 1 <= m && m <= n -> Ok (m, n)
+        | _ -> Error (Printf.sprintf "invalid pair %S, expected m:n with 1 <= m <= n" p))
+      | _ -> Error (Printf.sprintf "invalid pair %S, expected m:n" p)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> ( match pair p with Ok x -> go (x :: acc) rest | Error e -> Error e)
+    in
+    go [] (String.split_on_char ',' s)
+  in
+  let run design trials horizon seed afr building site sweep json jobs chunk
+      stats stats_json =
+    with_engine ?chunk ~jobs ~stats ~stats_json @@ fun engine ->
+    match
+      try
+        Ok
+          (Fleet.config ~trials ~horizon_years:horizon ~seed
+             ~rates:
+               (Fleet.rates ~default_afr:afr ~building_burst_per_year:building
+                  ~site_burst_per_year:site ())
+             ())
+      with Invalid_argument m -> Error m
+    with
+    | Error e -> Error e
+    | Ok config -> (
+      match sweep with
+      | Some pairs -> (
+        match parse_sweep pairs with
+        | Error e -> Error e
+        | Ok pairs ->
+          let results =
+            Fleet.erasure_sweep ~engine ~config
+              ~make:(fun ~fragments ~required ->
+                Whatif.erasure_coded ~fragments ~required ~links:10)
+              pairs
+          in
+          if json then
+            print_endline
+              (Storage_report.Json.to_string_pretty
+                 (Storage_report.Json.List
+                    (List.map (fun (_, _, r) -> Fleet.to_json r) results)))
+          else
+            List.iter
+              (fun (_, _, r) -> Fmt.pr "%a@.@." Fleet.pp r)
+              results;
+          Ok ())
+      | None -> (
+        match List.assoc_opt design fleet_designs with
+        | None ->
+          Error
+            (Printf.sprintf "unknown design %S; available: %s" design
+               (String.concat ", " (List.map fst fleet_designs)))
+        | Some d ->
+          let report = Fleet.run ~engine ~config d in
+          if json then
+            print_endline
+              (Storage_report.Json.to_string_pretty (Fleet.to_json report))
+          else Fmt.pr "%a@." Fleet.pp report;
+          Ok ()))
+  in
+  let term =
+    Term.(
+      const run $ design_arg $ trials_arg $ horizon_arg $ seed_arg $ afr_arg
+      $ building_arg $ site_arg $ sweep_arg $ json_arg $ jobs_arg $ chunk_arg
+      $ stats_arg $ stats_json_arg)
+  in
+  let info =
+    Cmd.info "fleet"
+      ~doc:
+        "Fleet-scale Monte Carlo availability: sample AFR-driven \
+         multi-failure traces per trial and simulate them, reporting \
+         availability/durability nines, expected data loss and \
+         rebuild-time percentiles."
+  in
+  Cmd.v info Term.(term_result' term)
+
 (* --- degraded --- *)
 
 let degraded_cmd =
@@ -1231,8 +1378,8 @@ let main_cmd =
   Cmd.group info
     [
       tables_cmd; evaluate_cmd; check_cmd; lint_cmd; whatif_cmd; simulate_cmd;
-      optimize_cmd; characterize_cmd; risk_cmd; degraded_cmd; report_cmd;
-      portfolio_cmd; explain_cmd; fuzz_cmd; serve_cmd;
+      fleet_cmd; optimize_cmd; characterize_cmd; risk_cmd; degraded_cmd;
+      report_cmd; portfolio_cmd; explain_cmd; fuzz_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

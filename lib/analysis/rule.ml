@@ -19,8 +19,8 @@ let all =
       "library code terminates the process (exit, however spelled or split)";
     r "SA004" Error true "socket primitive outside lib/serve";
     r "SA005" Error true
-      "?jobs/?cache/?lint in a public interface outside lib/engine \
-       (non-deprecated val)";
+      "?jobs/?cache/?lint in a public interface outside lib/engine (route \
+       the engine context through ?engine)";
     r "SA006" Error false
       "catch-all exception handler swallows Out_of_memory / Stack_overflow \
        / Sys.Break";

@@ -11,8 +11,8 @@ type t = {
   severity : Finding.severity;
   title : string;  (** one line, for the DESIGN.md table and [--rules] *)
   ported : bool;
-      (** true when the rule ports a [check_sources.ml] regex invariant
-          (the {!Parity} reference implementation covers it) *)
+      (** true when the rule ports an invariant of the retired
+          [check_sources.ml] regex checker *)
 }
 
 val all : t list

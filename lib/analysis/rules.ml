@@ -277,32 +277,26 @@ let check (ctx : Source.ctx) parsed =
     (match si.psig_desc with
     | Psig_value vd
       when ctx.kind = Source.Intf && in_lib && lib_sub <> Some "engine" ->
-      let deprecated =
-        List.exists
-          (fun (a : attribute) ->
-            match a.attr_name.txt with
-            | "deprecated" | "ocaml.deprecated" -> true
-            | _ -> false)
-          vd.pval_attributes
+      (* The [@@deprecated] exemption that once grandfathered the
+         legacy_* migration shims is gone with the shims themselves:
+         every engine-context argument outside lib/engine is now an
+         error, full stop. *)
+      let rec arrows ty =
+        match ty.ptyp_desc with
+        | Ptyp_arrow (label, _, rest) ->
+          (match label with
+          | Optional (("jobs" | "cache" | "lint") as l) ->
+            emit ~code:"SA005" ty.ptyp_loc
+              (Printf.sprintf
+                 "val %s exposes ?%s outside lib/engine (route the engine \
+                  context through ?engine)"
+                 vd.pval_name.txt l)
+          | _ -> ());
+          arrows rest
+        | Ptyp_poly (_, ty) -> arrows ty
+        | _ -> ()
       in
-      if not deprecated then begin
-        let rec arrows ty =
-          match ty.ptyp_desc with
-          | Ptyp_arrow (label, _, rest) ->
-            (match label with
-            | Optional (("jobs" | "cache" | "lint") as l) ->
-              emit ~code:"SA005" ty.ptyp_loc
-                (Printf.sprintf
-                   "val %s exposes ?%s outside lib/engine without \
-                    [@@deprecated]"
-                   vd.pval_name.txt l)
-            | _ -> ());
-            arrows rest
-          | Ptyp_poly (_, ty) -> arrows ty
-          | _ -> ()
-        in
-        arrows vd.pval_type
-      end
+      arrows vd.pval_type
     | _ -> ());
     default_iterator.signature_item self si
   in

@@ -162,17 +162,6 @@ let evaluate ?engine t scenario =
       (fun (m : Design.t) -> (m.Design.name, Eval_cache.run cache m scenario))
       members
 
-let legacy_evaluate ?(jobs = 1) ?cache ?(lint = true) t scenario =
-  let members = if lint then lint_members t else t.members in
-  let eval =
-    match cache with
-    | None -> fun m -> Evaluate.run m scenario
-    | Some c -> fun m -> Eval_cache.run c m scenario
-  in
-  Storage_parallel.Pool.map ~jobs
-    (fun (m : Design.t) -> (m.Design.name, eval m))
-    members
-
 let pp ppf t =
   let per_member, total = outlays t in
   Fmt.pf ppf "@[<v>portfolio of %d designs:@,%a@,%a@,total outlays: %a@]"

@@ -66,11 +66,4 @@ val evaluate :
     consolidation that does not fit. Pass an engine created with
     [~lint:false] to get a (failed) report for every member. *)
 
-val legacy_evaluate :
-  ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> t -> Scenario.t ->
-  (string * Evaluate.report) list
-[@@deprecated "use Portfolio.evaluate ?engine"]
-(** The pre-engine entry point: identical semantics with the knobs spelt
-    as per-call arguments. *)
-
 val pp : t Fmt.t

@@ -99,9 +99,8 @@ let poisson rng ~lambda =
   end
 
 (* [map] abstracts over how the samples are spread across domains: the
-   engine's pool, a one-shot [Pool.map ~jobs] (legacy shim), or plain
-   [List.map]. Every sample seeds its own generator, so the distribution
-   is independent of the slicing. *)
+   engine's pool or plain [List.map]. Every sample seeds its own
+   generator, so the distribution is independent of the slicing. *)
 let monte_carlo_with ~map ~seed ~samples design weighted_list ~horizon_years =
   if weighted_list = [] then invalid_arg "Risk.monte_carlo: no scenarios";
   if horizon_years <= 0. then invalid_arg "Risk.monte_carlo: non-positive horizon";
@@ -176,11 +175,6 @@ let monte_carlo ?engine ?seed ?(samples = 10_000) design weighted_list
     | None -> List.map f xs
     | Some e -> Storage_engine.map e f xs
   in
-  monte_carlo_with ~map ~seed ~samples design weighted_list ~horizon_years
-
-let legacy_monte_carlo ?(seed = 0xCA5CADEL) ?(samples = 10_000) ?(jobs = 1)
-    design weighted_list ~horizon_years =
-  let map f xs = Storage_parallel.Pool.map ~jobs f xs in
   monte_carlo_with ~map ~seed ~samples design weighted_list ~horizon_years
 
 let pp_distribution ppf d =

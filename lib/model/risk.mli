@@ -88,17 +88,5 @@ val monte_carlo :
     domains. Raises [Invalid_argument] on an empty scenario list,
     non-positive horizon or samples, or negative frequencies. *)
 
-val legacy_monte_carlo :
-  ?seed:int64 ->
-  ?samples:int ->
-  ?jobs:int ->
-  Design.t ->
-  weighted list ->
-  horizon_years:float ->
-  distribution
-[@@deprecated "use Risk.monte_carlo ?engine"]
-(** The pre-engine entry point: identical distribution for equal seeds
-    and samples, with parallelism as a per-call [?jobs]. *)
-
 val pp : t Fmt.t
 val pp_distribution : distribution Fmt.t

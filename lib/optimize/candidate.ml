@@ -221,4 +221,3 @@ let mirror_designs kit space =
 let enumerate kit space =
   Seq.append (tape_designs kit space) (mirror_designs kit space)
 
-let legacy_enumerate kit space = List.of_seq (enumerate kit space)

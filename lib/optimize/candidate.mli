@@ -57,6 +57,3 @@ val enumerate : kit -> space -> Design.t Seq.t
     window's worth while — it is consumed; the sequence is persistent and
     re-enumerates on re-traversal. *)
 
-val legacy_enumerate : kit -> space -> Design.t list
-[@@deprecated "use Candidate.enumerate (a lazy Seq.t)"]
-(** [enumerate] forced into a materialized list, in the same order. *)

@@ -66,15 +66,6 @@ let summarize ?engine design scenarios =
   in
   summarize_reports design reports
 
-let legacy_summarize ?cache design scenarios =
-  if scenarios = [] then invalid_arg "Objective.summarize: no scenarios";
-  let reports =
-    match cache with
-    | None -> Evaluate.run_all design scenarios
-    | Some c -> Eval_cache.run_all c design scenarios
-  in
-  summarize_reports design reports
-
 let pp ppf s =
   Fmt.pf ppf "%-32s out %-9s worst RT %-9s worst DL %-10s total %-9s%s"
     s.design.Design.name

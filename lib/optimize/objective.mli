@@ -28,9 +28,4 @@ val summarize :
     engine's shared {!Eval_cache}; the summary is identical with or
     without it. *)
 
-val legacy_summarize :
-  ?cache:Eval_cache.t -> Design.t -> Scenario.t list -> summary
-[@@deprecated "use Objective.summarize ?engine"]
-(** The pre-engine entry point, with the cache as a per-call argument. *)
-
 val pp : summary Fmt.t

@@ -161,18 +161,19 @@ let run ?engine ?top_k candidates scenarios =
       feasible_count = !feasible_count;
     }
 
-let legacy_run ?(jobs = 1) ?cache ?(lint = true) candidates scenarios =
+(* The independent reference algorithm the streaming path is
+   differential-tested against: materialize the whole grid, lint-prune it
+   as a list, score serially, and build the frontier with the quadratic
+   reference scan. Shares no traversal code with [run]. *)
+let run_materialized candidates scenarios =
   if candidates = [] then invalid_arg "Search.run: no candidate designs";
   if scenarios = [] then invalid_arg "Search.run: no scenarios";
-  let candidates = if lint then Storage_lint.prune candidates else candidates in
+  let candidates = Storage_lint.prune candidates in
   Storage_obs.Counter.add obs_evaluations
     (List.length candidates * List.length scenarios);
   Storage_obs.Timer.time t_search @@ fun () ->
-  let cache = match cache with Some c -> c | None -> Eval_cache.create () in
   let evaluated =
-    Storage_parallel.Pool.map ~jobs
-      (fun d -> (Objective.legacy_summarize ~cache d scenarios [@alert "-deprecated"]))
-      candidates
+    List.map (fun d -> Objective.summarize d scenarios) candidates
   in
   let feasible =
     List.filter (fun s -> s.Objective.feasible) evaluated

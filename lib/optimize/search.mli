@@ -64,14 +64,11 @@ val run :
     session — re-visited candidates cost a lookup, not an evaluation.
     The cache never changes any metric. *)
 
-val legacy_run :
-  ?jobs:int -> ?cache:Eval_cache.t -> ?lint:bool -> Design.t list ->
-  Scenario.t list -> result
-[@@deprecated "use Search.run ?engine over a Design.t Seq.t"]
-(** The pre-engine materialized loop, kept verbatim as the oracle the
-    streaming path is property-tested against: whole-list lint pruning,
-    [Pool.map] evaluation, quadratic reference frontier. Byte-identical
-    results to {!run} without [~top_k] on the same grid. *)
+val run_materialized : Design.t list -> Scenario.t list -> result
+(** The materialized reference loop the streaming path is
+    property-tested against: whole-list lint pruning, serial scoring,
+    quadratic reference frontier. Byte-identical results to {!run}
+    without [~top_k] on the same grid. *)
 
 val pp : result Fmt.t
 (** Prints the counts, the frontier and the winner. *)

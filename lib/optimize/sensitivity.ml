@@ -45,28 +45,6 @@ let crossover ?engine build_a ~values scenario ~metric ~against =
     (List.combine a b)
   |> Option.map (fun (pa, _) -> pa.value)
 
-let legacy_sweep ?(jobs = 1) ?cache build ~values scenario =
-  if values = [] then invalid_arg "Sensitivity.sweep: no values";
-  Storage_obs.Counter.add obs_points (List.length values);
-  Storage_obs.Timer.time t_sweep @@ fun () ->
-  let eval =
-    match cache with
-    | None -> fun d -> Evaluate.run d scenario
-    | Some c -> fun d -> Eval_cache.run c d scenario
-  in
-  Storage_parallel.Pool.map ~jobs
-    (fun v -> point_of_report v (eval (build v)))
-    values
-
-let legacy_crossover ?jobs ?cache build_a ~values scenario ~metric ~against =
-  if values = [] then invalid_arg "Sensitivity.crossover: no values";
-  let a = legacy_sweep ?jobs ?cache build_a ~values scenario in
-  let b = legacy_sweep ?jobs ?cache against ~values scenario in
-  List.find_opt
-    (fun (pa, pb) -> metric pa >= metric pb)
-    (List.combine a b)
-  |> Option.map (fun (pa, _) -> pa.value)
-
 let pp_point ppf p =
   Fmt.pf ppf "%8.2f: RT %-9s DL %-10s out %-9s pen %-9s total %s" p.value
     (Duration.to_string p.recovery_time)

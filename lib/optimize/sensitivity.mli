@@ -45,26 +45,4 @@ val crossover :
     value at which design family [a] stops beating family [against] on
     [metric] (smaller is better), if any. *)
 
-val legacy_sweep :
-  ?jobs:int ->
-  ?cache:Eval_cache.t ->
-  (float -> Design.t) ->
-  values:float list ->
-  Scenario.t ->
-  point list
-[@@deprecated "use Sensitivity.sweep ?engine"]
-(** The pre-engine entry point, with the knobs as per-call arguments. *)
-
-val legacy_crossover :
-  ?jobs:int ->
-  ?cache:Eval_cache.t ->
-  (float -> Design.t) ->
-  values:float list ->
-  Scenario.t ->
-  metric:(point -> float) ->
-  against:(float -> Design.t) ->
-  float option
-[@@deprecated "use Sensitivity.crossover ?engine"]
-(** The pre-engine entry point, with the knobs as per-call arguments. *)
-
 val pp_point : point Fmt.t

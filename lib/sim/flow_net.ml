@@ -215,3 +215,4 @@ let advance t dt =
   List.rev !completed
 
 let node_bytes _ n = n.transferred
+let active_flows = active

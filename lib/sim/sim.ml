@@ -44,6 +44,12 @@ type event =
       prop : float;
     }
   | Shipment_arrive of { level : int; capture : float }
+  | Recovery_step of { rid : int }
+      (* recovering data is ready at the head of the recovery's remaining
+         path; plan the next hop *)
+  | Recovery_xfer of { rid : int }
+      (* the next hop's transfer may begin (source staged, receiver
+         provisioned); add the flow *)
 
 type level_state = {
   sched : Schedule.t option;
@@ -66,6 +72,14 @@ type state = {
   reservations : (string * float) list;  (* device name -> reserved B/s *)
   mutable record : bool;
   mutable events : (float * string) list;  (* newest first *)
+  (* Multi-failure execution state ([run_events] only; inert in [run]).
+     [available_at] maps a destroyed device to the absolute time its spare
+     is provisioned (infinity: no applicable spare); absent means the
+     device was never destroyed. *)
+  available_at : (string, float) Hashtbl.t;
+  mutable capture_gate : int -> bool;
+  mutable rec_inflight : (Flow_net.flow * int) list;
+  mutable on_recovery : [ `Step of int | `Xfer of int | `Done of int ] -> unit;
 }
 
 let secs = Duration.to_seconds
@@ -205,6 +219,28 @@ let in_outage st level =
   | Some l when l = level -> st.now >= st.outage_start
   | Some _ | None -> false
 
+(* The flow-net nodes a transfer between two devices occupies: both
+   endpoints (or one node twice for an intra-device copy), plus the link
+   if it is bandwidth-constrained. *)
+let hop_through st ~src_dev ~dst_dev ~link =
+  let node name = Hashtbl.find_opt st.nodes name in
+  let src = node src_dev and dst = node dst_dev in
+  let link_node =
+    match link with
+    | Some (l : Interconnect.t) -> node l.Interconnect.name
+    | None -> None
+  in
+  let through =
+    match (src, dst) with
+    | Some a, Some b when Flow_net.node_name a = Flow_net.node_name b ->
+      [ (a, 2) ]
+    | Some a, Some b -> [ (a, 1); (b, 1) ]
+    | Some a, None -> [ (a, 1) ]
+    | None, Some b -> [ (b, 1) ]
+    | None, None -> []
+  in
+  match link_node with Some n -> (n, 1) :: through | None -> through
+
 let handle_capture st ~level ~kind =
   let s = Option.get st.levels.(level).sched in
   (* Re-arm the next cycle when the full fires. *)
@@ -226,7 +262,7 @@ let handle_capture st ~level ~kind =
     if st.verbose then
       Log.debug (fun m ->
           m "t=%.0f: level %d capture skipped (nothing upstream)" st.now level)
-  | Some _ when in_outage st level ->
+  | Some _ when in_outage st level || not (st.capture_gate level) ->
     if st.verbose then
       Log.debug (fun m ->
           m "t=%.0f: level %d capture suppressed (outage)" st.now level)
@@ -240,7 +276,7 @@ let handle_capture st ~level ~kind =
          { level; capture; size; prop = secs w.Schedule.propagation })
 
 let handle_transfer_start st ~level ~capture ~size ~prop =
-  if in_outage st level then ignore capture
+  if in_outage st level || not (st.capture_gate level) then ignore capture
   else begin
     let l = Hierarchy.level st.hierarchy level in
   let upstream = Hierarchy.level st.hierarchy (level - 1) in
@@ -250,25 +286,9 @@ let handle_transfer_start st ~level ~capture ~size ~prop =
       ~time:(st.now +. secs link.Interconnect.delay)
       (Shipment_arrive { level; capture })
   | link -> (
-    let node name = Hashtbl.find_opt st.nodes name in
-    let src = node upstream.Hierarchy.device.Device.name
-    and dst = node l.Hierarchy.device.Device.name in
-    let link_node =
-      match link with
-      | Some lk -> node lk.Interconnect.name
-      | None -> None
-    in
     let through =
-      match (src, dst) with
-      | Some a, Some b when Flow_net.node_name a = Flow_net.node_name b ->
-        [ (a, 2) ]
-      | Some a, Some b -> [ (a, 1); (b, 1) ]
-      | Some a, None -> [ (a, 1) ]
-      | None, Some b -> [ (b, 1) ]
-      | None, None -> []
-    in
-    let through =
-      match link_node with Some n -> (n, 1) :: through | None -> through
+      hop_through st ~src_dev:upstream.Hierarchy.device.Device.name
+        ~dst_dev:l.Hierarchy.device.Device.name ~link
     in
     if size <= 0. || through = [] then store_rp st level capture
     else begin
@@ -289,6 +309,8 @@ let handle_event st = function
   | Transfer_start { level; capture; size; prop } ->
     handle_transfer_start st ~level ~capture ~size ~prop
   | Shipment_arrive { level; capture } -> store_rp st level capture
+  | Recovery_step { rid } -> st.on_recovery (`Step rid)
+  | Recovery_xfer { rid } -> st.on_recovery (`Xfer rid)
 
 let complete_flows st flows =
   List.iter
@@ -297,7 +319,12 @@ let complete_flows st flows =
       | Some (level, capture) ->
         st.inflight <- List.remove_assq flow st.inflight;
         store_rp st level capture
-      | None -> ())
+      | None -> (
+        match List.assq_opt flow st.rec_inflight with
+        | Some rid ->
+          st.rec_inflight <- List.remove_assq flow st.rec_inflight;
+          st.on_recovery (`Done rid)
+        | None -> ()))
     flows
 
 (* Advance the interleaved discrete events and flow completions up to
@@ -317,6 +344,17 @@ let run_until st until =
           ]
       in
       let dt = Float.max 0. (next_time -. st.now) in
+      (* A nearly-complete flow whose remaining time is below the ulp of
+         the clock (multi-year virtual times have ulps of tens of
+         nanoseconds) yields [next_time = st.now]: advancing by the
+         rounded dt would move zero bytes and the loop would never
+         progress. Advance the net by the flow's own sub-resolution dt
+         instead — virtual time itself cannot (and need not) move. *)
+      let dt =
+        match next_flow with
+        | Some (fdt, _) when dt = 0. && st.now +. fdt = st.now -> fdt
+        | Some _ | None -> dt
+      in
       let completed = Flow_net.advance st.net dt in
       Storage_obs.Counter.incr obs_flow_advances;
       st.now <- next_time;
@@ -364,6 +402,10 @@ let build design =
       reservations;
       record = false;
       events = [];
+      available_at = Hashtbl.create 4;
+      capture_gate = (fun _ -> true);
+      rec_inflight = [];
+      on_recovery = ignore;
     }
   in
   (* Align each level's cycle so that its captures land just after the
@@ -394,6 +436,17 @@ let apply_failure st scope =
   let is_dead name =
     List.exists (fun (d : Device.t) -> String.equal d.Device.name name) destroyed
   in
+  (* Record when each destroyed device's spare comes online (read only by
+     the multi-failure executor; [run] never consults it). *)
+  List.iter
+    (fun (d : Device.t) ->
+      let avail =
+        match Spare.provisioning_time (Device.spare_for d ~scope) with
+        | Some p -> st.now +. secs p
+        | None -> infinity
+      in
+      Hashtbl.replace st.available_at d.Device.name avail)
+    destroyed;
   (* RPs stored on destroyed devices are gone, and in-flight transfers to or
      from them abort. *)
   Array.iteri
@@ -415,13 +468,10 @@ let apply_failure st scope =
       end)
     st.inflight
 
-let choose_source st scenario =
-  let scope = scenario.Scenario.scope in
-  let target = st.now -. secs scenario.Scenario.target_age in
+let choose_source_at st ~scope ~target ~target_now =
   let survivors = Hierarchy.surviving_levels st.hierarchy ~scope in
   let primary_intact = List.mem 0 survivors in
-  if primary_intact && Duration.is_zero scenario.Scenario.target_age then
-    `No_recovery_needed
+  if primary_intact && target_now then `No_recovery_needed
   else begin
     let candidates =
       List.filter_map
@@ -444,6 +494,11 @@ let choose_source st scenario =
       in
       `Recover_from (j, loss)
   end
+
+let choose_source st scenario =
+  choose_source_at st ~scope:scenario.Scenario.scope
+    ~target:(st.now -. secs scenario.Scenario.target_age)
+    ~target_now:(Duration.is_zero scenario.Scenario.target_age)
 
 (* Strict recovery execution: a hop's transfer starts only after the data
    has arrived at the source side AND the receiving device is provisioned
@@ -489,24 +544,9 @@ let execute_recovery st scenario ~source =
         let start = Float.max arrival prov in
         if is_shipment then hops start rest
         else begin
-          let node name = Hashtbl.find_opt st.nodes name in
-          let src = node la.Hierarchy.device.Device.name
-          and dst = node lb.Hierarchy.device.Device.name in
-          let link_node =
-            match link with Some l -> node l.Interconnect.name | None -> None
-          in
           let through =
-            match (src, dst) with
-            | Some x, Some y when Flow_net.node_name x = Flow_net.node_name y
-              ->
-              [ (x, 2) ]
-            | Some x, Some y -> [ (x, 1); (y, 1) ]
-            | Some x, None -> [ (x, 1) ]
-            | None, Some y -> [ (y, 1) ]
-            | None, None -> []
-          in
-          let through =
-            match link_node with Some n -> (n, 1) :: through | None -> through
+            hop_through st ~src_dev:la.Hierarchy.device.Device.name
+              ~dst_dev:lb.Hierarchy.device.Device.name ~link
           in
           let ser_fix = secs la.Hierarchy.device.Device.access_delay in
           let begin_xfer = start +. ser_fix in
@@ -629,6 +669,369 @@ let run ?(config = default_config) design scenario =
       List.rev_map (fun (t, m) -> (Duration.seconds t, m)) st.events;
   }
 
+(* --- multi-failure execution -------------------------------------- *)
+
+type injected = {
+  event : Scenario.event;
+  injected_at : Duration.t;
+  source_level : int option;
+  data_loss : Data_loss.loss;
+  recovery_end : Duration.t option;
+  replans : int;
+}
+
+type multi = {
+  injected : injected list;
+  horizon : Duration.t;
+  bandwidth_utilization : (string * float) list;
+  timeline : (Duration.t * string) list;
+}
+
+let obs_multi_runs = Storage_obs.Counter.make "sim.multi_runs"
+let obs_replans = Storage_obs.Counter.make "sim.recovery_replans"
+let t_sim_run_events = Storage_obs.Timer.make "sim.run_events"
+
+(* Per-failure bookkeeping that survives replanning: the [slot] is the
+   stable record for one injected event; [recovery] records are the
+   (possibly re-planned) executions attached to it. A slot absorbed by a
+   later primary-destroying failure resolves its recovery end through the
+   absorbing slot. *)
+type slot = {
+  s_event : Scenario.event;
+  s_at : float;  (* absolute injection time *)
+  s_primary_down : bool;
+  mutable s_source_level : int option;
+  mutable s_loss : Data_loss.loss;
+  mutable s_end : float option;
+  mutable s_replans : int;
+  mutable s_absorbed_into : slot option;
+}
+
+type recovery = {
+  rid : int;
+  slot : slot;
+  size : Size.t;
+  mutable path : int list;  (* remaining levels; data is staged at the head *)
+  mutable flow : Flow_net.flow option;
+  mutable dead : bool;  (* finished, failed, replanned or absorbed *)
+}
+
+(* Executes a scenario's full event set in virtual time: each failure is
+   injected at its offset past the warmup, and its recovery runs as real
+   flows in the event loop — contending with RP propagation and with the
+   other recoveries, re-planned (or absorbed by a newer primary failure)
+   when a later event destroys a device it depends on. Recoveries still
+   unfinished when the horizon closes report no recovery end.
+
+   Unlike [run], whose recovery is priced synchronously at frozen
+   post-failure rates, this executor lets virtual time advance, so a
+   single-event scenario measures a (generally different) live-bandwidth
+   recovery time; the degenerate reduction to [run] is the caller's
+   choice (see Storage_fleet). *)
+let run_events ?(config = default_config) ?horizon design scenario =
+  Storage_obs.Counter.incr obs_multi_runs;
+  Storage_obs.Timer.time t_sim_run_events @@ fun () ->
+  let events = Scenario.events scenario in
+  let last_at =
+    List.fold_left
+      (fun acc (e : Scenario.event) -> Float.max acc (secs e.Scenario.at))
+      0. events
+  in
+  let horizon =
+    match horizon with
+    | Some h -> secs h
+    | None -> last_at +. secs (Duration.weeks 12.)
+  in
+  if horizon < last_at then
+    invalid_arg "Sim.run_events: horizon before the last failure event";
+  let st =
+    { (build design) with verbose = config.log; record = config.record_events }
+  in
+  (match config.outage with
+  | Some (level, duration) ->
+    if level <= 0 || level >= Hierarchy.length st.hierarchy then
+      invalid_arg "Sim.run_events: outage level out of range";
+    st.outage_level <- Some level;
+    st.outage_start <- Float.max 0. (secs config.warmup -. secs duration)
+  | None -> ());
+  let warmup = secs config.warmup in
+  let primary_dev =
+    (Hierarchy.level st.hierarchy 0).Hierarchy.device.Device.name
+  in
+  let device_of j =
+    (Hierarchy.level st.hierarchy j).Hierarchy.device.Device.name
+  in
+  let device_ready name =
+    match Hashtbl.find_opt st.available_at name with
+    | Some t -> st.now >= t
+    | None -> true
+  in
+  (* Outstanding conditions invalidating the primary's data: one per
+     un-recovered primary-destroying failure. While non-zero, level-1
+     captures (and their propagations) have nothing real to capture. *)
+  let primary_invalid = ref 0 in
+  st.capture_gate <-
+    (fun level ->
+      let upstream_ok =
+        if level = 1 then device_ready primary_dev && !primary_invalid = 0
+        else device_ready (device_of (level - 1))
+      in
+      upstream_ok && device_ready (device_of level));
+  let recoveries : (int, recovery) Hashtbl.t = Hashtbl.create 8 in
+  let next_rid = ref 0 in
+  let finish_recovery r =
+    r.dead <- true;
+    r.slot.s_end <- Some st.now;
+    if r.slot.s_primary_down then decr primary_invalid;
+    record st "recovery %d complete %.0f s after its failure" r.rid
+      (st.now -. r.slot.s_at)
+  in
+  let fail_recovery r =
+    r.dead <- true;
+    record st "recovery %d cannot proceed (no provisionable device)" r.rid
+  in
+  (* Plan the next hop for [r], whose data is staged at the head of its
+     remaining path at the current instant. *)
+  let step r =
+    match r.path with
+    | a :: b :: _ ->
+      let la = Hierarchy.level st.hierarchy a
+      and lb = Hierarchy.level st.hierarchy b in
+      let prov =
+        match Hashtbl.find_opt st.available_at lb.Hierarchy.device.Device.name
+        with
+        | Some t -> t
+        | None -> st.now
+      in
+      if prov = infinity then fail_recovery r
+      else begin
+        let link = la.Hierarchy.link in
+        let transit =
+          match link with
+          | Some l -> secs l.Interconnect.delay
+          | None -> 0.
+        in
+        let is_shipment =
+          match link with
+          | Some { Interconnect.transport = Interconnect.Shipment; _ } -> true
+          | Some _ | None -> false
+        in
+        let arrival = st.now +. transit in
+        let start = Float.max arrival prov in
+        if is_shipment then begin
+          r.path <- List.tl r.path;
+          Event_queue.push st.queue ~time:start (Recovery_step { rid = r.rid })
+        end
+        else begin
+          let through =
+            hop_through st ~src_dev:la.Hierarchy.device.Device.name
+              ~dst_dev:lb.Hierarchy.device.Device.name ~link
+          in
+          let ser_fix = secs la.Hierarchy.device.Device.access_delay in
+          let begin_xfer = start +. ser_fix in
+          if through = [] || Size.is_zero r.size then begin
+            r.path <- List.tl r.path;
+            Event_queue.push st.queue ~time:begin_xfer
+              (Recovery_step { rid = r.rid })
+          end
+          else
+            Event_queue.push st.queue ~time:begin_xfer
+              (Recovery_xfer { rid = r.rid })
+        end
+      end
+    | [ _ ] | [] -> finish_recovery r
+  in
+  let start_xfer r =
+    match r.path with
+    | a :: b :: _ ->
+      let la = Hierarchy.level st.hierarchy a
+      and lb = Hierarchy.level st.hierarchy b in
+      let through =
+        hop_through st ~src_dev:la.Hierarchy.device.Device.name
+          ~dst_dev:lb.Hierarchy.device.Device.name ~link:la.Hierarchy.link
+      in
+      if through = [] then begin
+        r.path <- List.tl r.path;
+        step r
+      end
+      else begin
+        let flow =
+          Flow_net.add_flow st.net
+            ~label:(Printf.sprintf "recovery-%d" r.rid)
+            ~through ~bytes:(Size.to_bytes r.size) ()
+        in
+        r.flow <- Some flow;
+        st.rec_inflight <- (flow, r.rid) :: st.rec_inflight
+      end
+    | [ _ ] | [] -> finish_recovery r
+  in
+  st.on_recovery <-
+    (fun signal ->
+      let with_rec rid f =
+        match Hashtbl.find_opt recoveries rid with
+        | Some r when not r.dead -> f r
+        | Some _ | None -> ()
+      in
+      match signal with
+      | `Step rid -> with_rec rid step
+      | `Xfer rid -> with_rec rid start_xfer
+      | `Done rid ->
+        with_rec rid (fun r ->
+            r.flow <- None;
+            r.path <- List.tl r.path;
+            step r));
+  let spawn_recovery slot ~source =
+    let size =
+      match slot.s_event.Scenario.object_size with
+      | Some s -> s
+      | None ->
+        Demands.recovery_size ~workload:st.design.Design.workload
+          (Hierarchy.level st.hierarchy source).Hierarchy.technique
+    in
+    incr next_rid;
+    let r =
+      {
+        rid = !next_rid;
+        slot;
+        size;
+        path = Recovery_time.recovery_path st.hierarchy ~source;
+        flow = None;
+        dead = false;
+      }
+    in
+    Hashtbl.replace recoveries r.rid r;
+    step r;
+    r
+  in
+  let cancel_recovery_flow r =
+    match r.flow with
+    | Some flow ->
+      Flow_net.cancel st.net flow;
+      st.rec_inflight <- List.remove_assq flow st.rec_inflight;
+      r.flow <- None
+    | None -> ()
+  in
+  let choose slot ~target_now =
+    choose_source_at st ~scope:slot.s_event.Scenario.scope
+      ~target:(slot.s_at -. secs slot.s_event.Scenario.target_age)
+      ~target_now
+  in
+  let replan r =
+    cancel_recovery_flow r;
+    r.dead <- true;
+    let slot = r.slot in
+    slot.s_replans <- slot.s_replans + 1;
+    Storage_obs.Counter.incr obs_replans;
+    record st "recovery %d re-planned by a later failure" r.rid;
+    match choose slot ~target_now:false with
+    | `No_recovery_needed | `Total_loss ->
+      slot.s_source_level <- None;
+      slot.s_loss <- Data_loss.Entire_object
+    | `Recover_from (j, loss) ->
+      slot.s_source_level <- Some j;
+      slot.s_loss <- Data_loss.Updates (Duration.seconds loss);
+      ignore (spawn_recovery slot ~source:j)
+  in
+  let absorb r ~into =
+    cancel_recovery_flow r;
+    r.dead <- true;
+    if r.slot.s_primary_down then decr primary_invalid;
+    r.slot.s_absorbed_into <- Some into
+  in
+  (* Warm up, then inject each event at its offset, re-planning the
+     recoveries the new failure invalidates. *)
+  run_until st warmup;
+  st.now <- warmup;
+  let slots =
+    List.map
+      (fun (ev : Scenario.event) ->
+        let t_fail = warmup +. secs ev.Scenario.at in
+        run_until st t_fail;
+        st.now <- Float.max st.now t_fail;
+        record st "FAILURE: %s" (Location.scope_name ev.Scenario.scope);
+        let destroyed = destroyed_devices st ev.Scenario.scope in
+        let primary_down =
+          List.exists
+            (fun (d : Device.t) -> String.equal d.Device.name primary_dev)
+            destroyed
+        in
+        apply_failure st ev.Scenario.scope;
+        if primary_down then incr primary_invalid;
+        let slot =
+          {
+            s_event = ev;
+            s_at = t_fail;
+            s_primary_down = primary_down;
+            s_source_level = None;
+            s_loss = Data_loss.Entire_object;
+            s_end = None;
+            s_replans = 0;
+            s_absorbed_into = None;
+          }
+        in
+        let is_dead name =
+          List.exists
+            (fun (d : Device.t) -> String.equal d.Device.name name)
+            destroyed
+        in
+        let live =
+          Hashtbl.fold
+            (fun _ r acc -> if r.dead then acc else r :: acc)
+            recoveries []
+          |> List.sort (fun a b -> compare a.rid b.rid)
+        in
+        List.iter
+          (fun r ->
+            if primary_down then absorb r ~into:slot
+            else if List.exists (fun j -> is_dead (device_of j)) r.path then
+              replan r)
+          live;
+        (match
+           choose slot
+             ~target_now:(Duration.is_zero ev.Scenario.target_age)
+         with
+        | `No_recovery_needed ->
+          slot.s_source_level <- Some 0;
+          slot.s_loss <- Data_loss.Updates Duration.zero;
+          slot.s_end <- Some t_fail
+        | `Total_loss ->
+          slot.s_source_level <- None;
+          slot.s_loss <- Data_loss.Entire_object
+        | `Recover_from (j, loss) ->
+          record st "recovery source: level %d (loss %.0f s)" j loss;
+          slot.s_source_level <- Some j;
+          slot.s_loss <- Data_loss.Updates (Duration.seconds loss);
+          ignore (spawn_recovery slot ~source:j));
+        slot)
+      events
+  in
+  run_until st (warmup +. horizon);
+  (* An absorbed slot's outage ends when the absorbing slot's recovery
+     does (chains always point at later events, so this terminates). *)
+  let rec resolved_end slot =
+    match slot.s_absorbed_into with
+    | Some into -> resolved_end into
+    | None -> slot.s_end
+  in
+  {
+    injected =
+      List.map
+        (fun slot ->
+          {
+            event = slot.s_event;
+            injected_at = Duration.seconds slot.s_at;
+            source_level = slot.s_source_level;
+            data_loss = slot.s_loss;
+            recovery_end =
+              Option.map Duration.seconds (resolved_end slot);
+            replans = slot.s_replans;
+          })
+        slots;
+    horizon = Duration.seconds horizon;
+    bandwidth_utilization = measure_utilization st;
+    timeline = List.rev_map (fun (t, m) -> (Duration.seconds t, m)) st.events;
+  }
+
 (* Each offset is an independent simulation over its own state, so the
    sweep parallelizes trivially; results stay in offset order. *)
 let offset_run ~config design scenario offset =
@@ -641,7 +1044,3 @@ let sweep_failure_phase ?engine ?(config = default_config) design scenario
   | None -> List.map (offset_run ~config design scenario) offsets
   | Some e ->
     Storage_engine.map e (offset_run ~config design scenario) offsets
-
-let legacy_sweep_failure_phase ?(jobs = 1) ?(config = default_config) design
-    scenario ~offsets =
-  Storage_parallel.Pool.map ~jobs (offset_run ~config design scenario) offsets

@@ -66,6 +66,48 @@ val run : ?config:config -> Design.t -> Scenario.t -> measured
 (** Simulates [warmup] of normal operation, injects the scenario's failure,
     and executes the recovery. *)
 
+type injected = {
+  event : Scenario.event;
+  injected_at : Duration.t;  (** absolute virtual time of the failure *)
+  source_level : int option;
+      (** the recovery source finally used ([Some 0]: no recovery needed;
+          [None]: total loss) *)
+  data_loss : Data_loss.loss;
+  recovery_end : Duration.t option;
+      (** absolute virtual time the recovery finished; [None] when the
+          data was unrecoverable or the recovery was still running when
+          the horizon closed *)
+  replans : int;
+      (** times a later failure forced this recovery to restart from a
+          freshly chosen source *)
+}
+
+type multi = {
+  injected : injected list;  (** one per scenario event, in event order *)
+  horizon : Duration.t;  (** observed period after the warmup *)
+  bandwidth_utilization : (string * float) list;
+  timeline : (Duration.t * string) list;
+}
+
+val run_events :
+  ?config:config -> ?horizon:Duration.t -> Design.t -> Scenario.t -> multi
+(** Executes the scenario's full event set: after the warmup, each failure
+    is injected at its [at] offset and its recovery runs as real flows in
+    the event loop — overlapping recoveries contend with each other and
+    with RP propagation through the same {!Flow_net}. A later failure that
+    destroys a device an in-progress recovery depends on forces a re-plan
+    from a freshly chosen source; one that destroys the primary absorbs
+    the outage (the older event's unavailability ends when the newer
+    recovery does). Simulation stops at [warmup + horizon] (default: the
+    last event offset plus 12 weeks); recoveries still running then
+    report no [recovery_end].
+
+    Unlike {!run}, which prices its single recovery at frozen
+    post-failure bandwidth, this executor lets virtual time advance
+    during recovery, so even a single-event scenario measures a
+    live-bandwidth recovery; the exact reduction to {!run} for
+    single-failure inputs is made by the caller (see [Storage_fleet]). *)
+
 val sweep_failure_phase :
   ?engine:Storage_engine.t -> ?config:config -> Design.t -> Scenario.t ->
   offsets:Duration.t list -> measured list
@@ -74,9 +116,3 @@ val sweep_failure_phase :
     model's worst case should dominate every measured sample). The
     [?engine] runs the independent simulations on its domains; results
     are in offset order and identical to a serial (engine-less) sweep's. *)
-
-val legacy_sweep_failure_phase :
-  ?jobs:int -> ?config:config -> Design.t -> Scenario.t ->
-  offsets:Duration.t list -> measured list
-[@@deprecated "use Sim.sweep_failure_phase ?engine"]
-(** The pre-engine entry point, with parallelism as a per-call [?jobs]. *)

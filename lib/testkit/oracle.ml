@@ -16,6 +16,8 @@ open Storage_hierarchy
 open Storage_model
 open Storage_optimize
 module Engine = Storage_engine
+module Fleet = Storage_fleet.Fleet
+module Json = Storage_report.Json
 
 type verdict = Pass | Fail of string | Skip of string
 
@@ -106,15 +108,13 @@ let stream_vs_materialized =
   {
     name = "stream-vs-materialized";
     doc =
-      "Search.run (streaming, engine) is byte-identical to the legacy \
-       materialized loop on the case's singleton grid";
+      "Search.run (streaming, engine) is byte-identical to the \
+       materialized reference loop on the case's singleton grid";
     check =
       (fun ctx d scenarios ->
         let scs = List.map snd scenarios in
         let streaming = Search.run ~engine:ctx.engine (Seq.return d) scs in
-        let materialized =
-          (Search.legacy_run [ d ] scs [@alert "-deprecated"])
-        in
+        let materialized = Search.run_materialized [ d ] scs in
         if String.equal (bytes_of streaming) (bytes_of materialized) then Pass
         else Fail "streaming search differs from the materialized loop");
   }
@@ -437,6 +437,106 @@ let monotone_cost =
         end);
   }
 
+(* --- fleet Monte Carlo degenerates to the single-failure simulator --- *)
+
+let fleet_degenerate =
+  {
+    name = "fleet-degenerate";
+    doc =
+      "a fleet trial whose sampled trace has exactly one failure event \
+       reproduces the phase-aligned single-scenario simulator verbatim \
+       (outage, loss accounting, rebuild list)";
+    check =
+      (fun _ d scenarios ->
+        if eval_errors d scenarios <> [] then
+          Skip "design does not evaluate cleanly"
+        else begin
+          let horizon = Duration.years 5. in
+          let horizon_s = Duration.to_seconds horizon in
+          let one_event seed =
+            match Fleet.sample_events ~horizon ~seed d with
+            | [ e ] -> Some (seed, e)
+            | _ -> None
+          in
+          let candidates =
+            List.init 64 (fun i -> Int64.add 0xCA5CADEL (Int64.of_int i))
+          in
+          match List.find_map one_event candidates with
+          | None -> Skip "no candidate seed samples a one-event trace"
+          | Some (seed, e) ->
+            let trial = Fleet.run_trial ~horizon ~seed ~index:0 d in
+            let m = Fleet.single_event_measured d e in
+            (* The reduction, recomputed here independently of run_trial:
+               an unrecoverable failure is down (and lost) until the end
+               of the horizon; a source at level 0 needs no transfer; a
+               priced recovery is the outage and the one rebuild. *)
+            let expected_outage_s, expected_losses, expected_rebuilds =
+              match
+                (m.Storage_sim.Sim.source_level,
+                 m.Storage_sim.Sim.recovery_time)
+              with
+              | None, _ ->
+                (horizon_s -. Duration.to_seconds e.Scenario.at, 1, [])
+              | Some 0, _ | Some _, None -> (0., 0, [])
+              | Some _, Some rt -> (Duration.to_seconds rt, 0, [ rt ])
+            in
+            let expected_outage_s = Float.min expected_outage_s horizon_s in
+            let expected_bytes =
+              match m.Storage_sim.Sim.data_loss with
+              | Data_loss.Updates dur ->
+                if Duration.is_zero dur then Size.zero
+                else Workload.unique_bytes d.Design.workload dur
+              | Data_loss.Entire_object ->
+                d.Design.workload.Workload.data_capacity
+            in
+            let secs = Duration.to_seconds in
+            if trial.Fleet.failures <> 1 then
+              failf "trial reports %d failures for a one-event trace"
+                trial.Fleet.failures
+            else if secs trial.Fleet.outage <> expected_outage_s then
+              failf "trial outage %.3f s, single-scenario reduction %.3f s"
+                (secs trial.Fleet.outage) expected_outage_s
+            else if trial.Fleet.losses <> expected_losses then
+              failf "trial losses %d, single-scenario reduction %d"
+                trial.Fleet.losses expected_losses
+            else if
+              not (Size.equal trial.Fleet.bytes_lost expected_bytes)
+            then
+              failf "trial lost %s, single-scenario reduction %s"
+                (Fmt.str "%a" Size.pp trial.Fleet.bytes_lost)
+                (Fmt.str "%a" Size.pp expected_bytes)
+            else if
+              List.map secs trial.Fleet.rebuilds
+              <> List.map secs expected_rebuilds
+            then failf "trial rebuild list differs from the reduction"
+            else Pass
+        end);
+  }
+
+(* --- fleet report is schedule-independent --- *)
+
+let fleet_jobs_invariance =
+  {
+    name = "fleet-jobs-invariance";
+    doc =
+      "Fleet.run's JSON report is byte-identical between the session \
+       engine and the multi-domain engine (trial order, not dispatch \
+       schedule, determines the aggregate)";
+    check =
+      (fun ctx d scenarios ->
+        if eval_errors d scenarios <> [] then
+          Skip "design does not evaluate cleanly"
+        else begin
+          let config = Fleet.config ~trials:8 ~horizon_years:1. () in
+          let render engine =
+            Json.to_string (Fleet.to_json (Fleet.run ~engine ~config d))
+          in
+          if String.equal (render ctx.engine) (render ctx.aux) then Pass
+          else
+            Fail "fleet report differs between serial and parallel engines"
+        end);
+  }
+
 (* --- harness self-test --- *)
 
 let self_test_fail =
@@ -459,6 +559,8 @@ let defaults =
     monotone_bandwidth;
     monotone_cost;
     analytic_vs_sim;
+    fleet_degenerate;
+    fleet_jobs_invariance;
   ]
 
 let all = defaults @ [ self_test_fail ]

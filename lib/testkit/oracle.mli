@@ -28,7 +28,8 @@ val defaults : t list
 (** The production registry, cheapest first: [lint-coincidence],
     [cache-invariance], [stream-vs-materialized], [parallel-invariance],
     [chunk-invariance], [monotone-shorter-window], [monotone-bandwidth],
-    [monotone-cost], [analytic-vs-sim]. *)
+    [monotone-cost], [analytic-vs-sim], [fleet-degenerate],
+    [fleet-jobs-invariance]. *)
 
 val all : t list
 (** {!defaults} plus [self-test-fail], which fails on every case and

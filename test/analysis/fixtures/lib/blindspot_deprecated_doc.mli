@@ -1,5 +1,6 @@
 val tune : ?jobs:int -> unit -> unit
-(** Regex blind spot: the retired val-block scan exempted any block
-    whose text mentions the marker — including this doc comment, which
+(** Blind spot of the retired val-block scan: it exempted any block
+    whose text mentioned the marker — including this doc comment, which
     merely talks about [@@deprecated] without carrying the attribute.
-    The AST rule reads the real attribute list and still fires. *)
+    The AST rule reads real attributes, and since the legacy shims were
+    removed it grants no deprecation exemption at all. *)

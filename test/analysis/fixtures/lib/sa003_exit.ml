@@ -1,0 +1,3 @@
+(* Plain firing: library code terminating the process. *)
+
+let die () = Stdlib.exit 1

@@ -14,7 +14,7 @@ the retired regex checker's invariants:
   SA002  error   top-level mutable Hashtbl outside the audited shared-state modules  [ported from check_sources]
   SA003  error   library code terminates the process (exit, however spelled or split)  [ported from check_sources]
   SA004  error   socket primitive outside lib/serve  [ported from check_sources]
-  SA005  error   ?jobs/?cache/?lint in a public interface outside lib/engine (non-deprecated val)  [ported from check_sources]
+  SA005  error   ?jobs/?cache/?lint in a public interface outside lib/engine (route the engine context through ?engine)  [ported from check_sources]
   SA006  error   catch-all exception handler swallows Out_of_memory / Stack_overflow / Sys.Break
   SA007  warning resource acquisition (Unix.openfile/socket, Mutex.lock) in a binding without Fun.protect/Mutex.protect
   SA008  warning float equality: =/<>/==/compare against a non-zero float literal or float-annotated operand
@@ -27,21 +27,15 @@ Every rule has a firing fixture. The full table over the fixture tree
 suppression and an in-scope socket produce no findings):
 
   $ sslint fixtures
-  fixtures/lib/blindspot_deprecated_doc.mli:1:11: SA005  error    val tune exposes ?jobs outside lib/engine without [@@deprecated]
+  fixtures/lib/blindspot_deprecated_doc.mli:1:11: SA005  error    val tune exposes ?jobs outside lib/engine (route the engine context through ?engine)
   fixtures/lib/blindspot_exit_multiline.ml:6:2: SA003  error    process exit from library code (Stdlib.exit)
   fixtures/lib/blindspot_exit_multiline.ml:10:21: SA003  error    process exit from library code (exit)
   fixtures/lib/blindspot_hashtbl_layout.ml:7:2: SA002  error    top-level Hashtbl.create: shared mutable table outside the audited modules
   fixtures/lib/blindspot_random_alias.ml:5:11: SA001  error    Random: ambient randomness; route through the seeded PRNG (lib/prng)
   fixtures/lib/blindspot_random_open.ml:4:5: SA001  error    Random: ambient randomness; route through the seeded PRNG (lib/prng)
   fixtures/lib/blindspot_socket_open.ml:6:2: SA004  error    socket primitive socket (via open Unix) outside lib/serve
-  fixtures/lib/parity_engine_args.mli:1:15: SA005  error    val evaluate exposes ?jobs outside lib/engine without [@@deprecated]
-  fixtures/lib/parity_engine_args.mli:1:28: SA005  error    val evaluate exposes ?cache outside lib/engine without [@@deprecated]
-  fixtures/lib/parity_exit.ml:3:13: SA003  error    process exit from library code (Stdlib.exit)
-  fixtures/lib/parity_hashtbl.ml:3:10: SA002  error    top-level Hashtbl.create: shared mutable table outside the audited modules
-  fixtures/lib/parity_random.ml:3:14: SA001  error    Random.int: ambient randomness; route through the seeded PRNG (lib/prng)
-  fixtures/lib/parity_socket.ml:4:14: SA004  error    socket primitive Unix.socket outside lib/serve
-  fixtures/lib/parity_socket.ml:4:14: SA007  warning  Unix.socket acquired without Fun.protect/Mutex.protect in the same binding
   fixtures/lib/sa000_syntax_error.ml:5:0: SA000  error    syntax error
+  fixtures/lib/sa003_exit.ml:3:13: SA003  error    process exit from library code (Stdlib.exit)
   fixtures/lib/sa006_swallow.ml:5:37: SA006  error    catch-all handler swallows Out_of_memory/Stack_overflow/Sys.Break; re-raise fatal exceptions first
   fixtures/lib/sa007_leak.ml:5:11: SA007  warning  Unix.openfile acquired without Fun.protect/Mutex.protect in the same binding
   fixtures/lib/sa008_float_eq.ml:4:14: SA008  warning  exact float comparison; use an epsilon or Float.equal
@@ -51,7 +45,7 @@ suppression and an in-scope socket produce no findings):
   fixtures/lib/sa010_toplevel_state.ml:4:14: SA010  error    top-level mutable state (ref) outside the audited modules
   fixtures/lib/sa010_toplevel_state.ml:5:14: SA010  error    top-level mutable state (Buffer.create) outside the audited modules
   fixtures/lib/sa011_unused_allow.ml:4:0: SA011  warning  unused [@sslint.allow "SA009"]: nothing here fires the code
-  19 error(s), 5 warning(s) across 21 file(s)
+  14 error(s), 4 warning(s) across 17 file(s)
   [2]
 
 A clean file exits 0:
@@ -78,14 +72,14 @@ ssdep lint):
 
 Errors exit 2:
 
-  $ sslint fixtures/lib/parity_exit.ml
-  fixtures/lib/parity_exit.ml:3:13: SA003  error    process exit from library code (Stdlib.exit)
+  $ sslint fixtures/lib/sa003_exit.ml
+  fixtures/lib/sa003_exit.ml:3:13: SA003  error    process exit from library code (Stdlib.exit)
   1 error(s), 0 warning(s) across 1 file(s)
   [2]
 
 The machine-readable report pins the JSON shape:
 
-  $ sslint --json fixtures/lib/parity_exit.ml
+  $ sslint --json fixtures/lib/sa003_exit.ml
   {
     "tool": "sslint",
     "files": 1,
@@ -93,7 +87,7 @@ The machine-readable report pins the JSON shape:
       {
         "code": "SA003",
         "severity": "error",
-        "file": "fixtures/lib/parity_exit.ml",
+        "file": "fixtures/lib/sa003_exit.ml",
         "line": 3,
         "col": 13,
         "message": "process exit from library code (Stdlib.exit)"

@@ -7,13 +7,15 @@ The oracle registry:
   $ ssdep fuzz --list-oracles
   lint-coincidence         Lint.accepts iff Design.validate; per scenario, lint errors empty iff Evaluate.run reports no errors
   cache-invariance         Eval_cache.run is byte-identical to Evaluate.run, and a cache hit returns the physically stored report
-  stream-vs-materialized   Search.run (streaming, engine) is byte-identical to the legacy materialized loop on the case's singleton grid
+  stream-vs-materialized   Search.run (streaming, engine) is byte-identical to the materialized reference loop on the case's singleton grid
   parallel-invariance      Objective.summarize and Search.run are byte-identical between a serial and a multi-domain engine
   chunk-invariance         Search.run over a replicated grid is byte-identical to serial for forced chunk sizes 1, 7, the pool window and one past the grid
   monotone-shorter-window  halving a level's accumulation window never worsens now-target data loss (shorter backup windows mean fresher retrieval points)
   monotone-bandwidth       doubling every device's bandwidth never worsens recovery time
   monotone-cost            outlays are monotone in workload capacity (2x growth)
   analytic-vs-sim          simulated data loss within the analytic worst case (+1 s) and simulated recovery time within the documented tolerance band of the analytic estimate, for now-targets on valid designs
+  fleet-degenerate         a fleet trial whose sampled trace has exactly one failure event reproduces the phase-aligned single-scenario simulator verbatim (outage, loss accounting, rebuild list)
+  fleet-jobs-invariance    Fleet.run's JSON report is byte-identical between the session engine and the multi-domain engine (trial order, not dispatch schedule, determines the aggregate)
   self-test-fail           fails on every case by construction — exercises the counterexample pipeline (shrinking, corpus, replay); excluded from the defaults
 
 A clean run exits 0 and leaves the corpus directory empty:
@@ -72,7 +74,7 @@ what lets a demonstration counterexample live in the checked-in corpus
 without breaking CI:
 
   $ ssdep fuzz --seed 7 --budget 0 --corpus corpus1
-  fuzz: seed 0x7, budget 0, 9 oracles
+  fuzz: seed 0x7, budget 0, 11 oracles
   findings: 0
 
 Usage errors exit 2:

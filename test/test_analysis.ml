@@ -1,8 +1,7 @@
 (* The project source analyzer (lib/analysis, sslint): rule coverage
-   over the fixture tree, the regex checker's blind spots proven
-   fixture by fixture, parity with the retired checker on the live
-   tree, and a full self-scan — the analyzer's rules hold over this
-   repository's own lib/, bin/, bench/ and tools/. *)
+   over the fixture tree, the retired regex checker's blind spots held
+   as firing fixtures, and a full self-scan — the analyzer's rules hold
+   over this repository's own lib/, bin/, bench/ and tools/. *)
 
 module A = Storage_analysis
 
@@ -41,10 +40,12 @@ let test_registry_codes_unique_and_known () =
         true (A.Rule.mem code))
     (sorted_uniq_codes report.A.Analyze.findings)
 
-(* --- the regex checker's blind spots ------------------------------ *)
+(* --- the retired regex checker's blind spots ---------------------- *)
 
-(* Each fixture defeats the retired line regexes (the faithful Parity
-   port finds nothing) while the AST rule still fires. *)
+(* Each fixture is a layout the retired line regexes could not see
+   (aliases, opens, multi-line splits, doc-comment mentions); the AST
+   rules fire on all of them. The regex reference implementation is
+   gone, but the fixtures stay as the hardest firing cases. *)
 let blindspots =
   [
     ("blindspot_random_alias.ml", "SA001");
@@ -55,31 +56,14 @@ let blindspots =
     ("blindspot_deprecated_doc.mli", "SA005");
   ]
 
-let read_file path = In_channel.with_open_bin path In_channel.input_all
-
-let test_blindspots_regex_misses_ast_fires () =
+let test_blindspots_ast_fires () =
   List.iter
     (fun (name, code) ->
-      let path = fixture name in
-      let regex_hits = A.Parity.scan_file path (read_file path) in
-      Alcotest.(check int)
-        (Printf.sprintf "%s: the retired regexes see nothing" name)
-        0 (List.length regex_hits);
-      let ast_codes = codes_of (A.Analyze.file path) in
+      let ast_codes = codes_of (A.Analyze.file (fixture name)) in
       Alcotest.(check bool)
         (Printf.sprintf "%s: the AST rule fires %s" name code)
         true (List.mem code ast_codes))
     blindspots
-
-let test_parity_fixtures_covered_hit_for_hit () =
-  (* Where the regexes do fire, the AST rules cover every hit. *)
-  let hits = A.Parity.scan [ fixtures ] in
-  Alcotest.(check bool) "the plain parity fixtures trip the regexes" true
-    (List.length hits >= 5);
-  let findings = (A.Analyze.paths [ fixtures ]).A.Analyze.findings in
-  let stale = A.Parity.uncovered hits findings in
-  Alcotest.(check int) "no regex hit lacks an AST counterpart" 0
-    (List.length stale)
 
 (* --- suppressions ------------------------------------------------- *)
 
@@ -141,13 +125,6 @@ let test_self_scan_clean () =
        (fun f -> Printf.sprintf "%s:%d %s" f.A.Finding.file f.A.Finding.line f.A.Finding.code)
        report.A.Analyze.findings)
 
-let test_live_tree_parity () =
-  let findings = (A.Analyze.paths tree_roots).A.Analyze.findings in
-  let stale = A.Parity.uncovered (A.Parity.scan tree_roots) findings in
-  Alcotest.(check int)
-    "every retired-regex hit on the live tree has an AST counterpart" 0
-    (List.length stale)
-
 let suite =
   [
     ( "analysis.rules",
@@ -155,10 +132,8 @@ let suite =
         t "every SA rule has a firing fixture" test_every_rule_has_a_firing_fixture;
         t "registry codes unique; all emitted codes registered"
           test_registry_codes_unique_and_known;
-        t "regex blind spots: parity port misses, AST fires"
-          test_blindspots_regex_misses_ast_fires;
-        t "parity fixtures covered hit for hit"
-          test_parity_fixtures_covered_hit_for_hit;
+        t "retired-regex blind spots: the AST rules fire"
+          test_blindspots_ast_fires;
       ] );
     ( "analysis.suppress",
       [
@@ -172,9 +147,5 @@ let suite =
         t "exit codes match ssdep lint" test_exit_codes;
       ] );
     ( "analysis.tree",
-      [
-        t "self-scan: the project sources are clean" test_self_scan_clean;
-        t "parity: sslint covers the retired checker on the live tree"
-          test_live_tree_parity;
-      ] );
+      [ t "self-scan: the project sources are clean" test_self_scan_clean ] );
   ]

@@ -186,8 +186,7 @@ let seeded_candidates =
   Storage_testkit.Seeded.draw ~seed:[| 0x57E4; 2004 |] ~n:200
     Test_random_designs.pool
 
-let legacy_oracle () =
-  (Search.legacy_run seeded_candidates scenarios [@alert "-deprecated"])
+let legacy_oracle () = Search.run_materialized seeded_candidates scenarios
 
 let check_result_identical msg (a : Search.result) (b : Search.result) =
   check_same_bytes (msg ^ ": evaluated") a.Search.evaluated b.Search.evaluated;

@@ -4,10 +4,11 @@ let () =
   Alcotest.run "storage-dependability"
     (Test_units.suite @ Test_workload.suite @ Test_device.suite
    @ Test_protection.suite @ Test_hierarchy.suite @ Test_model.suite
-   @ Test_sim.suite @ Test_optimize.suite @ Test_extensions.suite
+   @ Test_sim.suite @ Test_fleet.suite @ Test_optimize.suite
+   @ Test_extensions.suite
    @ Test_presets.suite @ Test_spec.suite @ Test_coverage.suite
    @ Test_lint.suite
    @ Test_random_designs.suite
    @ Test_parallel.suite @ Test_engine.suite @ Test_report.suite
-   @ Test_obs.suite @ Test_testkit.suite @ Test_legacy_equiv.suite
+   @ Test_obs.suite @ Test_testkit.suite
    @ Test_serve.suite @ Test_analysis.suite)

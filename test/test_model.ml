@@ -507,6 +507,46 @@ let prop_recovery_time_positive =
       let d = Whatif.async_mirror ~links in
       rt_hours d Baseline.scenario_array > 0.)
 
+(* --- Scenario fingerprints --- *)
+
+(* Pinned digests: the scenario half of every Eval_cache / serve-shard
+   key. These hex strings were captured from the released single-failure
+   representation; any change to them silently invalidates every warm
+   cache shard, so a representation change (e.g. the event-set algebra)
+   must keep single-event scenarios hashing byte-identically. *)
+let pinned_fingerprints =
+  [
+    ("object", Baseline.scenario_object, "45b03c95bdbdaf789de07b47d51c6718");
+    ("array", Baseline.scenario_array, "00fefacaff85d820b08a731309286905");
+    ("site", Baseline.scenario_site, "4bd117ab596a2a2c7968f8624bc6e22c");
+    ( "building",
+      Scenario.now (Location.Building "bldg-1"),
+      "127901d554c407661933d7c7b345130a" );
+    ( "region",
+      Scenario.now (Location.Region "west"),
+      "ffe00fb661d85ab1bd3bc6d8a5581198" );
+    ( "multiple",
+      Scenario.now
+        (Location.Multiple [ Location.Device "disk-array"; Location.Site "primary" ]),
+      "afd94ce9089084a454ce7268ef1ff0c8" );
+    ( "aged device",
+      Scenario.make ~scope:(Location.Device "disk-array")
+        ~target_age:(Duration.hours 12.) (),
+      "20b928f6ad2e90440649503554a7275f" );
+    ( "object now",
+      Scenario.make ~scope:Location.Data_object ~object_size:(Size.gib 2.) (),
+      "7f3983622acb242aa6f950a579112141" );
+  ]
+
+let test_scenario_fingerprints_pinned () =
+  List.iter
+    (fun (name, scenario, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s fingerprint stable" name)
+        expected
+        (Scenario.fingerprint scenario))
+    pinned_fingerprints
+
 let suite =
   [
     ( "model.design",
@@ -561,6 +601,11 @@ let suite =
         Alcotest.test_case "snapshots cheaper than mirrors" `Quick
           test_outlays_snapshot_cheaper;
         Alcotest.test_case "link costs scale" `Quick test_outlays_links_scale;
+      ] );
+    ( "model.scenario",
+      [
+        Alcotest.test_case "fingerprints pinned (cache-key stability)" `Quick
+          test_scenario_fingerprints_pinned;
       ] );
     ( "model.evaluate",
       [

@@ -5,7 +5,7 @@
    "Project static analysis" for the rule table. Distinct from
    [ssdep lint], which checks storage *designs*, not sources.
 
-   Usage: sslint [--json] [--deny-warnings] [--parity] [--rules] [PATH...]
+   Usage: sslint [--json] [--deny-warnings] [--rules] [PATH...]
 
    Exit codes match ssdep lint: 2 on errors (or usage error), 1 on
    warnings under --deny-warnings, 0 clean. *)
@@ -13,13 +13,12 @@
 module A = Storage_analysis
 
 let usage =
-  "usage: sslint [--json] [--deny-warnings] [--parity] [--rules] [PATH...]\n\
+  "usage: sslint [--json] [--deny-warnings] [--rules] [PATH...]\n\
    Analyzes project OCaml sources (default paths: lib bin bench tools)."
 
 let () =
   let json = ref false
   and deny_warnings = ref false
-  and parity = ref false
   and rules = ref false
   and paths = ref [] in
   let spec =
@@ -28,9 +27,6 @@ let () =
       ( "--deny-warnings",
         Arg.Set deny_warnings,
         " exit 1 when only warnings are found" );
-      ( "--parity",
-        Arg.Set parity,
-        " also assert sslint covers every retired check_sources regex hit" );
       ("--rules", Arg.Set rules, " list the SA rules and exit");
     ]
   in
@@ -75,17 +71,4 @@ let () =
     Fmt.pr "%a@."
       (A.Finding.pp_report ~files:report.A.Analyze.files)
       findings;
-  if !parity then begin
-    let stale = A.Parity.uncovered (A.Parity.scan roots) findings in
-    if stale <> [] then begin
-      List.iter
-        (fun (h : A.Parity.hit) ->
-          Printf.eprintf
-            "sslint --parity: %s:%d: retired regex hit (%s) has no AST \
-             counterpart\n"
-            h.A.Parity.file h.A.Parity.line h.A.Parity.code)
-        stale;
-      exit 2
-    end
-  end;
   exit (A.Finding.exit_code ~deny_warnings:!deny_warnings findings)
