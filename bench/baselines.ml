@@ -37,6 +37,15 @@ type tier = {
   min_fleet_trials_per_sec : float;
       (** serial fleet Monte Carlo throughput floor on the baseline
           preset (5-year horizon) *)
+  solver_budget_fraction : float;
+      (** annealing budget for the solver-vs-grid gate, as a fraction of
+          the tier grid's point count: the solver must land on the
+          exhaustive grid optimum while evaluating at most this share of
+          the grid *)
+  solver_seed : int64;
+      (** pinned annealing seed for the solver-vs-grid gate (the solver
+          is a pure function of (seed, budget), so the gate is
+          deterministic) *)
 }
 
 (* ~2k candidates: fast enough for every `dune runtest`, coarse floors
@@ -52,6 +61,8 @@ let smoke =
     min_serve_warm_speedup = 1.5;
     fleet_trials = 200;
     min_fleet_trials_per_sec = 250.;
+    solver_budget_fraction = 0.10;
+    solver_seed = 0xB0B5L;
   }
 
 (* The 131k-candidate sweep of BENCH_stream.json (scale 8): the nightly
@@ -68,4 +79,6 @@ let full =
     min_serve_warm_speedup = 2.0;
     fleet_trials = 1000;
     min_fleet_trials_per_sec = 500.;
+    solver_budget_fraction = 0.10;
+    solver_seed = 0xB0B5L;
   }

@@ -11,6 +11,7 @@
      dune exec bench/main.exe parallel        # multicore engine benchmark
      dune exec bench/main.exe stream          # streaming-pipeline memory bench
      dune exec bench/main.exe serve           # evaluation-service load gen
+     dune exec bench/main.exe solver          # solver-vs-grid parity bench
 
    The parallel mode times the design-space search over a few hundred
    generated candidates — serial versus 2/4/8-domain Pool evaluation, and
@@ -793,6 +794,122 @@ let fleet_bench () =
   print_endline "  wrote BENCH_fleet.json";
   if not !ok then exit 1
 
+(* --- metaheuristic solver benchmark --- *)
+
+(* [bench/main.exe solver [smoke]]: run all three solver methods over the
+   tier grid and report how much of the exhaustive sweep each one needed
+   to land on the same optimum. The headline number — the annealing
+   budget is capped at [solver_budget_fraction] of the candidates the
+   grid evaluated, and the run must still reach the grid optimum — is
+   the measurement behind the solver-vs-grid gate of [--check]. Writes
+   BENCH_solver.json; exits 1 if anneal or b&b misses the optimum. *)
+let solver_bench ~smoke () =
+  let module J = Storage_report.Json in
+  let module Engine = Storage_optimize.Engine in
+  let module Solver = Storage_optimize.Solver in
+  let module Objective = Storage_optimize.Objective in
+  let b = if smoke then Baselines.smoke else Baselines.full in
+  let space =
+    Storage_optimize.Candidate.scaled_space ~scale:b.Baselines.grid_scale
+  in
+  let points = Storage_optimize.Candidate.point_count space in
+  let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
+  let jobs = Int.min 4 (Storage_parallel.Pool.default_jobs ()) in
+  Printf.printf
+    "Solver benchmark, %s tier: %d grid points x %d scenarios, seed 0x%Lx, \
+     %d job(s)\n"
+    b.Baselines.name points (List.length scenarios) b.Baselines.solver_seed
+    jobs;
+  let engine = Engine.create ~jobs ~cache:false () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      let timed method_ ?budget () =
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Solver.run ~engine ?budget ~seed:b.Baselines.solver_seed ~method_
+            parallel_kit space scenarios
+        in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let grid, t_grid = timed Solver.Grid () in
+      let grid_evals = grid.Solver.stats.Solver.evaluations in
+      let budget =
+        Int.max 1
+          (int_of_float
+             (b.Baselines.solver_budget_fraction *. float_of_int grid_evals))
+      in
+      let anneal, t_anneal = timed Solver.Anneal ~budget () in
+      let bnb, t_bnb = timed Solver.Bnb () in
+      let total (r : Solver.result) =
+        Option.map
+          (fun (s : Objective.summary) -> s.Objective.worst_total_cost)
+          r.Solver.best
+      in
+      let matches r =
+        Option.compare Money.compare (total r) (total grid) = 0
+      in
+      let ok = ref true in
+      let row name (r : Solver.result) seconds =
+        let evals = r.Solver.stats.Solver.evaluations in
+        let fraction = float_of_int evals /. float_of_int grid_evals in
+        let matched = matches r in
+        if not matched then ok := false;
+        Printf.printf
+          "  %-7s best %s  %7d evaluations (%5.1f%% of grid)  %7.2f s%s\n"
+          name
+          (match r.Solver.best with
+          | None -> "-- none feasible --"
+          | Some s ->
+            Fmt.str "%-32s %a"
+              s.Objective.design.Design.name
+              Money.pp s.Objective.worst_total_cost)
+          evals (100. *. fraction) seconds
+          (if matched then "" else "  MISSED-OPTIMUM!");
+        J.Obj
+          [
+            ("method", J.String (Solver.method_name r.Solver.method_));
+            ("budget", J.Int r.Solver.budget);
+            ("evaluations", J.Int evals);
+            ("fraction_of_grid", J.Float fraction);
+            ("pruned_cost", J.Int r.Solver.stats.Solver.pruned_cost);
+            ( "pruned_infeasible",
+              J.Int r.Solver.stats.Solver.pruned_infeasible );
+            ("bound_probes", J.Int r.Solver.stats.Solver.probes);
+            ("seconds", J.Float seconds);
+            ("matched_grid", J.Bool matched);
+            ( "best_total_usd",
+              match total r with
+              | None -> J.Null
+              | Some m -> J.Float (Money.to_usd m) );
+          ]
+      in
+      let row_grid = row "grid" grid t_grid in
+      let row_anneal = row "anneal" anneal t_anneal in
+      let row_bnb = row "bnb" bnb t_bnb in
+      let rows = [ row_grid; row_anneal; row_bnb ] in
+      let json =
+        J.Obj
+          [
+            ("mode", J.String "solver");
+            ("tier", J.String b.Baselines.name);
+            ("grid_scale", J.Int b.Baselines.grid_scale);
+            ("grid_points", J.Int points);
+            ("grid_evaluations", J.Int grid_evals);
+            ("seed", J.String (Printf.sprintf "0x%Lx" b.Baselines.solver_seed));
+            ( "budget_fraction",
+              J.Float b.Baselines.solver_budget_fraction );
+            ("anneal_budget", J.Int budget);
+            ("jobs", J.Int jobs);
+            ("methods", J.List rows);
+          ]
+      in
+      Out_channel.with_open_text "BENCH_solver.json" (fun oc ->
+          output_string oc (J.to_string_pretty json);
+          output_char oc '\n');
+      print_endline "  wrote BENCH_solver.json";
+      if not !ok then exit 1)
+
 (* --- evaluation-service load generator --- *)
 
 (* [bench/main.exe serve]: start an in-process daemon on an ephemeral
@@ -1137,7 +1254,53 @@ let check_bench ~smoke () =
       ~ok:(tps >= b.Baselines.min_fleet_trials_per_sec)
       ~unit_:"trials/s"
   in
-  (* Gate 5 — the daemon's reason to exist: warm-cache /evaluate p50
+  (* Gate 5 — solver-vs-grid parity: annealing, budgeted at
+     [solver_budget_fraction] of the candidates the exhaustive grid
+     evaluated, must land on the grid optimum exactly. The measured
+     value is the share of the grid the solver actually evaluated; the
+     gate fails either by missing the optimum or by burning more than
+     the committed fraction. Deterministic (pinned seed), so a failure
+     here is a solver regression, not noise. *)
+  let ok_solver =
+    let module Solver = Storage_optimize.Solver in
+    let module Objective = Storage_optimize.Objective in
+    let space =
+      Storage_optimize.Candidate.scaled_space ~scale:b.Baselines.grid_scale
+    in
+    let engine = Engine.create ~jobs:1 ~cache:false () in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown engine)
+      (fun () ->
+        let solve method_ ?budget () =
+          Solver.run ~engine ?budget ~seed:b.Baselines.solver_seed ~method_
+            parallel_kit space scenarios
+        in
+        let grid = solve Solver.Grid () in
+        let grid_evals = grid.Solver.stats.Solver.evaluations in
+        let budget =
+          Int.max 1
+            (int_of_float
+               (b.Baselines.solver_budget_fraction
+               *. float_of_int grid_evals))
+        in
+        let anneal = solve Solver.Anneal ~budget () in
+        let total (r : Solver.result) =
+          Option.map
+            (fun (s : Objective.summary) -> s.Objective.worst_total_cost)
+            r.Solver.best
+        in
+        let parity = Option.compare Money.compare (total anneal) (total grid) = 0 in
+        let fraction =
+          100.
+          *. float_of_int anneal.Solver.stats.Solver.evaluations
+          /. float_of_int grid_evals
+        in
+        let threshold = 100. *. b.Baselines.solver_budget_fraction in
+        gate "solver-vs-grid" ~measured:fraction ~threshold
+          ~ok:(parity && fraction <= threshold)
+          ~unit_:"% of grid")
+  in
+  (* Gate 6 — the daemon's reason to exist: warm-cache /evaluate p50
      must beat the cold single-shot CLI wall time by the committed
      factor. Runs last: [Server.start] flips the obs registry on, which
      must not perturb the gates above. Skipped when SSDEP_BIN does not
@@ -1170,7 +1333,9 @@ let check_bench ~smoke () =
           ~ok:(speedup >= b.Baselines.min_serve_warm_speedup)
           ~unit_:"x"
   in
-  let pass = ok_throughput && ok_speedup && ok_peak && ok_fleet && ok_serve in
+  let pass =
+    ok_throughput && ok_speedup && ok_peak && ok_fleet && ok_solver && ok_serve
+  in
   let json =
     J.Obj
       [
@@ -1294,6 +1459,8 @@ let () =
   | _ :: [ "stream" ] -> stream_bench ()
   | _ :: [ "fleet" ] -> fleet_bench ()
   | _ :: [ "serve" ] -> serve_bench ()
+  | _ :: [ "solver" ] -> solver_bench ~smoke:false ()
+  | _ :: [ "solver"; "smoke" ] -> solver_bench ~smoke:true ()
   | _ :: ([ "--check" ] | [ "check" ]) -> check_bench ~smoke:false ()
   | _ :: ([ "--check"; "--smoke" ] | [ "check"; "smoke" ]) ->
     check_bench ~smoke:true ()

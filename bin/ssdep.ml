@@ -580,9 +580,66 @@ let optimize_cmd =
     Arg.(value & opt (some positive_int_conv) None
          & info [ "max-candidates" ] ~docv:"N" ~doc)
   in
-  let run rto rpo top_k grid_scale max_candidates chunk jobs stats stats_json
-      =
+  let solver_arg =
+    let doc =
+      "Search method: $(b,grid) evaluates the whole grid (the streaming \
+       reference), $(b,anneal) runs seeded simulated annealing within \
+       $(b,--budget) proposals, $(b,bnb) runs branch-and-bound pruning \
+       subtrees with the lint feasibility frontier and a monotone cost \
+       bound. All methods report byte-identically whatever $(b,--jobs) is."
+    in
+    let method_conv =
+      Arg.conv
+        ( (fun s ->
+            Result.map_error
+              (fun m -> `Msg m)
+              (Storage_optimize.Solver.method_of_string s)),
+          fun ppf m ->
+            Fmt.string ppf (Storage_optimize.Solver.method_name m) )
+    in
+    Arg.(value & opt method_conv Storage_optimize.Solver.Grid
+         & info [ "solver" ] ~docv:"METHOD" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Annealing proposal budget (grid-cell visits; ignored by \
+       $(b,--solver grid) and $(b,bnb)). A budget of 4x the grid makes \
+       annealing provably exhaustive; a larger budget never returns a \
+       worse design than a smaller one."
+    in
+    Arg.(value & opt (some positive_int_conv) None
+         & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Solver seed (decimal or 0x-hex; default: the engine's session \
+       seed). A fixed seed reproduces the report byte-for-byte whatever \
+       $(b,--jobs) is."
+    in
+    let solver_seed_conv =
+      let parse s =
+        match Int64.of_string_opt s with
+        | Some n -> Ok n
+        | None ->
+          Error (`Msg (Printf.sprintf "invalid seed %S, expected an integer" s))
+      in
+      Arg.conv (parse, fun ppf n -> Fmt.pf ppf "0x%Lx" n)
+    in
+    Arg.(value & opt (some solver_seed_conv) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let portfolio_arg =
+    let doc =
+      "Optimize the object class described by this design file jointly \
+       with the other $(docv) members (repeatable): each member gets its \
+       own design, members price each other's load on the shared \
+       hardware, and the assignment rolls up into one site-level summary."
+    in
+    Arg.(value & opt_all file [] & info [ "portfolio" ] ~docv:"FILE" ~doc)
+  in
+  let run rto rpo top_k grid_scale max_candidates solver budget seed portfolio
+      json chunk jobs stats stats_json =
     with_engine ?chunk ~jobs ~stats ~stats_json @@ fun engine ->
+    let module Solver = Storage_optimize.Solver in
     let business =
       Business.make
         ~outage_penalty_rate:(Money_rate.usd_per_hour 50_000.)
@@ -593,50 +650,103 @@ let optimize_cmd =
     in
     let kit = Whatif.search_kit ~business () in
     let space = Whatif.search_space ~scale:grid_scale () in
-    let candidates = Storage_optimize.Candidate.enumerate kit space in
-    let over_budget =
-      (* Enumeration is lazy and persistent, so counting here builds one
-         design at a time and retains none of them. *)
-      match max_candidates with
-      | None -> None
-      | Some bound ->
-        let n = Seq.length candidates in
-        if n > bound then Some (n, bound) else None
-    in
-    match over_budget with
-    | Some (n, bound) ->
+    let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
+    let legacy = solver = Solver.Grid && portfolio = [] && not json in
+    if (top_k <> None || max_candidates <> None) && not legacy then
       Error
-        (Printf.sprintf
-           "grid has %d candidate designs, over the --max-candidates budget \
-            of %d; raise the budget or lower --grid-scale"
-           n bound)
-    | None ->
-      let scenarios = [ Baseline.scenario_array; Baseline.scenario_site ] in
-      let result =
-        Storage_optimize.Search.run ~engine ?top_k candidates scenarios
+        "--top-k and --max-candidates apply to the default grid search \
+         only (no --solver, --portfolio or --json)"
+    else if portfolio <> [] && (rto <> None || rpo <> None) then
+      Error
+        "--rto/--rpo conflict with --portfolio: each member's objectives \
+         come from its design file"
+    else if legacy then begin
+      let candidates = Storage_optimize.Candidate.enumerate kit space in
+      let over_budget =
+        (* Enumeration is lazy and persistent, so counting here builds one
+           design at a time and retains none of them. *)
+        match max_candidates with
+        | None -> None
+        | Some bound ->
+          let n = Seq.length candidates in
+          if n > bound then Some (n, bound) else None
       in
-      Fmt.pr "%a@." Storage_optimize.Search.pp result;
-      (match top_k with
-      | None -> ()
-      | Some k ->
-        Fmt.pr "top %d feasible (of %d):@." (min k result.feasible_count)
-          result.Storage_optimize.Search.feasible_count;
-        List.iteri
-          (fun i s ->
-            Fmt.pr "  %2d. %a@." (i + 1) Storage_optimize.Objective.pp s)
-          result.Storage_optimize.Search.feasible);
+      match over_budget with
+      | Some (n, bound) ->
+        Error
+          (Printf.sprintf
+             "grid has %d candidate designs, over the --max-candidates budget \
+              of %d; raise the budget or lower --grid-scale"
+             n bound)
+      | None ->
+        let result =
+          Storage_optimize.Search.run ~engine ?top_k candidates scenarios
+        in
+        Fmt.pr "%a@." Storage_optimize.Search.pp result;
+        (match top_k with
+        | None -> ()
+        | Some k ->
+          Fmt.pr "top %d feasible (of %d):@." (min k result.feasible_count)
+            result.Storage_optimize.Search.feasible_count;
+          List.iteri
+            (fun i s ->
+              Fmt.pr "  %2d. %a@." (i + 1) Storage_optimize.Objective.pp s)
+            result.Storage_optimize.Search.feasible);
+        Ok ()
+    end
+    else if portfolio = [] then begin
+      let result =
+        Solver.run ~engine ?budget ?seed ~method_:solver kit space scenarios
+      in
+      if json then
+        print_endline
+          (Storage_report.Json.to_string_pretty (Solver.to_json result))
+      else Fmt.pr "%a@." Solver.pp result;
       Ok ()
+    end
+    else begin
+      let ( let* ) = Result.bind in
+      let* members =
+        List.fold_left
+          (fun acc path ->
+            let* acc = acc in
+            let* d = load_design path in
+            Ok (Solver.member_of_design d :: acc))
+          (Ok []) portfolio
+        |> Result.map List.rev
+      in
+      let labels = List.map (fun m -> m.Solver.label) members in
+      if
+        List.length labels
+        <> List.length (List.sort_uniq String.compare labels)
+      then Error "--portfolio members must have distinct design names"
+      else begin
+        let result =
+          Solver.solve_portfolio ~engine ?budget ?seed ~method_:solver ~kit
+            ~space ~members scenarios
+        in
+        if json then
+          print_endline
+            (Storage_report.Json.to_string_pretty
+               (Solver.portfolio_to_json result))
+        else Fmt.pr "%a@." Solver.pp_portfolio result;
+        Ok ()
+      end
+    end
   in
   let term =
     Term.(
-      const run $ rto $ rpo $ top_k $ grid_scale $ max_candidates $ chunk_arg
+      const run $ rto $ rpo $ top_k $ grid_scale $ max_candidates $ solver_arg
+      $ budget_arg $ seed_arg $ portfolio_arg $ json_arg $ chunk_arg
       $ jobs_arg $ stats_arg $ stats_json_arg)
   in
   let info =
     Cmd.info "optimize"
       ~doc:
         "Search the design space for the cheapest design meeting the given \
-         RTO/RPO under array and site failures."
+         RTO/RPO under array and site failures — exhaustively, by seeded \
+         simulated annealing, or by branch-and-bound; single designs or \
+         joint portfolios."
   in
   Cmd.v info Term.(term_result' term)
 

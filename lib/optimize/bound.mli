@@ -1,0 +1,42 @@
+open Storage_units
+open Storage_model
+
+(** Pruning bounds for branch-and-bound over the candidate grid.
+
+    A tape-family subtree (all completions of a fixed PiT policy, or of a
+    fixed PiT + backup policy) shares a {e prefix design} — the partial
+    hierarchy built by {!Candidate.tape_prefix}. Two facts about the cost
+    and demand model make prefixes useful bounds, both stated here and
+    verified empirically by the soundness property suite in
+    [test/test_optimize.ml] (which replays pruned regions exhaustively)
+    and by the [solver-exhaustive-equivalence] testkit oracle:
+
+    - appending a level only {e adds} demand, so a lint-rejected prefix
+      has no acceptable completion (the lint feasibility frontier);
+    - appending a level only {e adds} cost, so a prefix's outlays lower-
+      bound every completion's [worst_total_cost]. *)
+
+type verdict = Admit | Cut_infeasible | Cut_cost
+
+val judge : incumbent:Money.t option -> Design.t option -> verdict
+(** Judge a subtree by its prefix design. [Cut_infeasible] when the
+    prefix is lint-rejected (no completion can be feasible);
+    [Cut_cost] when its outlays already reach [incumbent] (the best
+    feasible total cost found so far — completions can only tie, never
+    beat it); [Admit] otherwise, including for [None] prefixes (an
+    unbuildable prefix proves nothing about its completions). *)
+
+val bisection_threshold : int
+(** Axis length from which {!frontier} is worth its O(log n) probes over
+    a linear scan (shorter axes are probed element-wise by the solver). *)
+
+val frontier : admit:(int -> bool) -> int -> int option
+(** [frontier ~admit n] locates the lint feasibility frontier along one
+    ascending-accumulation axis of length [n]: the least index whose
+    prefix is admitted, by geometric expansion from index 0 followed by
+    binary search — the same bisection shape the testkit uses to locate
+    workload feasibility frontiers ([Gen.frontier_factor]). [None] when
+    no index is admitted. Assumes [admit] is monotone along the axis
+    (shorter accumulation windows demand strictly more bandwidth); the
+    soundness suite replays the skipped indices to check the assumption
+    on real spaces. *)

@@ -77,6 +77,93 @@ let scaled_space ~scale =
       mirror_links = [ 1; 2; 3; 4; 6; 8; 10 ];
     }
 
+(* --- shared level construction ---
+
+   [enumerate] and the solver's point decoder must produce structurally
+   identical designs for the same grid coordinates (the testkit oracle
+   compares their optima, and a shared engine cache should hit across
+   both), so every level — and every name fragment — is built by exactly
+   one function. *)
+
+let primary_level kit =
+  {
+    Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
+    device = kit.primary;
+    link = None;
+  }
+
+let backup_level kit space backup_acc =
+  let backup_prop =
+    Duration.min (Duration.scale 0.5 backup_acc) (Duration.hours 48.)
+  in
+  let backup_schedule =
+    Schedule.simple ~acc:backup_acc ~prop:backup_prop ~hold:(Duration.hours 1.)
+      ~retention_count:
+        (retention_for ~horizon:space.backup_retention_horizon ~cycle:backup_acc)
+      ()
+  in
+  ( {
+      Hierarchy.technique = Technique.Backup backup_schedule;
+      device = kit.tape_library;
+      link = Some kit.san;
+    },
+    label_duration backup_acc )
+
+let vault_level kit space vault_acc =
+  let vault_schedule =
+    Schedule.simple ~acc:vault_acc
+      ~prop:(Duration.hours 24.)
+      ~hold:(Duration.hours 12.)
+      ~retention_count:
+        (retention_for ~horizon:space.vault_retention_horizon ~cycle:vault_acc)
+      ()
+  in
+  ( {
+      Hierarchy.technique = Technique.Vaulting vault_schedule;
+      device = kit.vault;
+      link = Some kit.shipment;
+    },
+    label_duration vault_acc )
+
+let pit_parts kit pit_kind pit_acc pit_ret =
+  let pit_prefix =
+    match pit_kind with `Split_mirror -> "mirror" | `Snapshot -> "snap"
+  in
+  let pit_schedule = Schedule.simple ~acc:pit_acc ~retention_count:pit_ret () in
+  let pit_technique =
+    match pit_kind with
+    | `Split_mirror -> Technique.Split_mirror pit_schedule
+    | `Snapshot -> Technique.Virtual_snapshot pit_schedule
+  in
+  ( { Hierarchy.technique = pit_technique; device = kit.primary; link = None },
+    pit_prefix ^ "/" ^ label_duration pit_acc ^ " x" ^ string_of_int pit_ret )
+
+let mirror_level kit links =
+  let schedule =
+    Schedule.simple ~acc:(Duration.minutes 1.) ~prop:(Duration.minutes 1.)
+      ~retention_count:1 ()
+  in
+  {
+    Hierarchy.technique =
+      Technique.Remote_mirror { mode = Technique.Asynchronous_batch; schedule };
+    device = kit.remote_array;
+    link = Some (kit.wan links);
+  }
+
+(* Assemble + the enumerate-time filter: a level stack that violates the
+   hierarchy conventions, or a design the linter would reject, yields
+   [None] — the same acceptance predicate everywhere a grid point becomes
+   a design. *)
+let assemble ?(background = []) kit ~name levels =
+  match Hierarchy.make levels with
+  | Error _ -> None
+  | Ok hierarchy ->
+    let design =
+      Design.make ~name ~workload:kit.workload ~hierarchy
+        ~business:kit.business ~background ()
+    in
+    if Design.validate design = Ok () then Some design else None
+
 (* The inner loop of [tape_designs] runs once per grid point, so anything
    that varies along only one axis — schedules, hierarchy-level records,
    name fragments — is precomputed per axis value and shared across every
@@ -87,137 +174,164 @@ let scaled_space ~scale =
    the first forced cell, preserving [enumerate]'s laziness. *)
 let tape_designs kit space =
   fun () ->
-    let primary_level =
-      {
-        Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
-        device = kit.primary;
-        link = None;
-      }
-    in
-    let backups =
-      List.map
-        (fun backup_acc ->
-          let backup_prop =
-            Duration.min (Duration.scale 0.5 backup_acc) (Duration.hours 48.)
-          in
-          let backup_schedule =
-            Schedule.simple ~acc:backup_acc ~prop:backup_prop
-              ~hold:(Duration.hours 1.)
-              ~retention_count:
-                (retention_for ~horizon:space.backup_retention_horizon
-                   ~cycle:backup_acc)
-              ()
-          in
-          ( {
-              Hierarchy.technique = Technique.Backup backup_schedule;
-              device = kit.tape_library;
-              link = Some kit.san;
-            },
-            label_duration backup_acc ))
-        space.backup_accumulations
-    in
-    let vaults =
-      List.map
-        (fun vault_acc ->
-          let vault_schedule =
-            Schedule.simple ~acc:vault_acc
-              ~prop:(Duration.hours 24.)
-              ~hold:(Duration.hours 12.)
-              ~retention_count:
-                (retention_for ~horizon:space.vault_retention_horizon
-                   ~cycle:vault_acc)
-              ()
-          in
-          ( {
-              Hierarchy.technique = Technique.Vaulting vault_schedule;
-              device = kit.vault;
-              link = Some kit.shipment;
-            },
-            label_duration vault_acc ))
-        space.vault_accumulations
-    in
+    let primary_level = primary_level kit in
+    let backups = List.map (backup_level kit space) space.backup_accumulations in
+    let vaults = List.map (vault_level kit space) space.vault_accumulations in
     let ( let* ) xs f = Seq.concat_map f (List.to_seq xs) in
     (let* pit_kind = space.pit_techniques in
-     let pit_prefix =
-       match pit_kind with `Split_mirror -> "mirror" | `Snapshot -> "snap"
-     in
      let* pit_acc = space.pit_accumulations in
-     let pit_label = label_duration pit_acc in
      let* pit_ret = space.pit_retentions in
-     let pit_schedule =
-       Schedule.simple ~acc:pit_acc ~retention_count:pit_ret ()
-     in
-     let pit_technique =
-       match pit_kind with
-       | `Split_mirror -> Technique.Split_mirror pit_schedule
-       | `Snapshot -> Technique.Virtual_snapshot pit_schedule
-     in
-     let pit_level =
-       { Hierarchy.technique = pit_technique; device = kit.primary; link = None }
-     in
-     let pit_name =
-       pit_prefix ^ "/" ^ pit_label ^ " x" ^ string_of_int pit_ret
-       ^ ", backup/"
-     in
+     let pit_level, pit_fragment = pit_parts kit pit_kind pit_acc pit_ret in
+     let pit_name = pit_fragment ^ ", backup/" in
      let* backup_level, backup_label = backups in
      let backup_name = pit_name ^ backup_label ^ ", vault/" in
      Seq.filter_map
        (fun (vault_level, vault_label) ->
-         let name = backup_name ^ vault_label in
-         match
-           Hierarchy.make
-             [ primary_level; pit_level; backup_level; vault_level ]
-         with
-         | Error _ -> None
-         | Ok hierarchy ->
-           let design =
-             Design.make ~name ~workload:kit.workload ~hierarchy
-               ~business:kit.business ()
-           in
-           if Design.validate design = Ok () then Some design else None)
+         assemble kit
+           ~name:(backup_name ^ vault_label)
+           [ primary_level; pit_level; backup_level; vault_level ])
        (List.to_seq vaults))
       ()
 
 let mirror_designs kit space =
   fun () ->
-    let schedule =
-      Schedule.simple ~acc:(Duration.minutes 1.) ~prop:(Duration.minutes 1.)
-        ~retention_count:1 ()
-    in
-    let primary_level =
-      {
-        Hierarchy.technique = Technique.Primary_copy { raid = Raid.Raid1 };
-        device = kit.primary;
-        link = None;
-      }
-    in
-    let mirror_technique =
-      Technique.Remote_mirror { mode = Technique.Asynchronous_batch; schedule }
-    in
+    let primary_level = primary_level kit in
     Seq.filter_map
       (fun links ->
-        match
-          Hierarchy.make
-            [
-              primary_level;
-              {
-                technique = mirror_technique;
-                device = kit.remote_array;
-                link = Some (kit.wan links);
-              };
-            ]
-        with
-        | Error _ -> None
-        | Ok hierarchy ->
-          let design =
-            Design.make
-              ~name:("asyncB mirror x" ^ string_of_int links)
-              ~workload:kit.workload ~hierarchy ~business:kit.business ()
-          in
-          if Design.validate design = Ok () then Some design else None)
+        assemble kit
+          ~name:("asyncB mirror x" ^ string_of_int links)
+          [ primary_level; mirror_level kit links ])
       (List.to_seq space.mirror_links)
       ()
 
 let enumerate kit space =
   Seq.append (tape_designs kit space) (mirror_designs kit space)
 
+(* --- the grid as an indexed coordinate space --- *)
+
+type point =
+  | Tape of { pit : int; pit_acc : int; pit_ret : int; backup : int; vault : int }
+  | Mirror of { links : int }
+
+let tape_dims space =
+  ( List.length space.pit_techniques,
+    List.length space.pit_accumulations,
+    List.length space.pit_retentions,
+    List.length space.backup_accumulations,
+    List.length space.vault_accumulations )
+
+let tape_count space =
+  let nk, na, nr, nb, nv = tape_dims space in
+  nk * na * nr * nb * nv
+
+let mirror_count space = List.length space.mirror_links
+let point_count space = tape_count space + mirror_count space
+
+(* Mixed-radix decode in [enumerate]'s order: the tape family first
+   (pit kind outermost, vault innermost), then the mirrors. *)
+let point_of_index space i =
+  let tapes = tape_count space in
+  if i < 0 || i >= tapes + mirror_count space then
+    invalid_arg "Candidate.point_of_index: index out of range";
+  if i < tapes then begin
+    let _, na, nr, nb, nv = tape_dims space in
+    let vault = i mod nv in
+    let i = i / nv in
+    let backup = i mod nb in
+    let i = i / nb in
+    let pit_ret = i mod nr in
+    let i = i / nr in
+    let pit_acc = i mod na in
+    let pit = i / na in
+    Tape { pit; pit_acc; pit_ret; backup; vault }
+  end
+  else Mirror { links = i - tapes }
+
+let points space =
+  Seq.map (point_of_index space) (Seq.init (point_count space) Fun.id)
+
+type axes = {
+  akit : kit;
+  background : (string * Storage_device.Demand.labeled list) list;
+  aprimary : Hierarchy.level;
+  pit_kinds : [ `Split_mirror | `Snapshot ] array;
+  pit_accs : Duration.t array;
+  pit_rets : int array;
+  abackups : (Hierarchy.level * string) array;
+  avaults : (Hierarchy.level * string) array;
+  amirrors : int array;
+}
+
+let axes ?(background = []) kit space =
+  {
+    akit = kit;
+    background;
+    aprimary = primary_level kit;
+    pit_kinds = Array.of_list space.pit_techniques;
+    pit_accs = Array.of_list space.pit_accumulations;
+    pit_rets = Array.of_list space.pit_retentions;
+    abackups =
+      Array.of_list (List.map (backup_level kit space) space.backup_accumulations);
+    avaults =
+      Array.of_list (List.map (vault_level kit space) space.vault_accumulations);
+    amirrors = Array.of_list space.mirror_links;
+  }
+
+let in_range a i = i >= 0 && i < Array.length a
+
+let design_of_point t = function
+  | Tape { pit; pit_acc; pit_ret; backup; vault } ->
+    if
+      in_range t.pit_kinds pit && in_range t.pit_accs pit_acc
+      && in_range t.pit_rets pit_ret && in_range t.abackups backup
+      && in_range t.avaults vault
+    then begin
+      let pit_level, pit_fragment =
+        pit_parts t.akit t.pit_kinds.(pit) t.pit_accs.(pit_acc)
+          t.pit_rets.(pit_ret)
+      in
+      let backup_level, backup_label = t.abackups.(backup) in
+      let vault_level, vault_label = t.avaults.(vault) in
+      assemble ~background:t.background t.akit
+        ~name:(pit_fragment ^ ", backup/" ^ backup_label ^ ", vault/" ^ vault_label)
+        [ t.aprimary; pit_level; backup_level; vault_level ]
+    end
+    else None
+  | Mirror { links } ->
+    if in_range t.amirrors links then
+      assemble ~background:t.background t.akit
+        ~name:("asyncB mirror x" ^ string_of_int t.amirrors.(links))
+        [ t.aprimary; mirror_level t.akit t.amirrors.(links) ]
+    else None
+
+let tape_prefix t ~pit ~pit_acc ~pit_ret ?backup () =
+  if
+    not
+      (in_range t.pit_kinds pit && in_range t.pit_accs pit_acc
+      && in_range t.pit_rets pit_ret)
+  then None
+  else begin
+    let pit_level, pit_fragment =
+      pit_parts t.akit t.pit_kinds.(pit) t.pit_accs.(pit_acc) t.pit_rets.(pit_ret)
+    in
+    let levels, name =
+      match backup with
+      | None -> ([ t.aprimary; pit_level ], "prefix " ^ pit_fragment)
+      | Some b ->
+        if not (in_range t.abackups b) then ([], "")
+        else begin
+          let backup_level, backup_label = t.abackups.(b) in
+          ( [ t.aprimary; pit_level; backup_level ],
+            "prefix " ^ pit_fragment ^ ", backup/" ^ backup_label )
+        end
+    in
+    if levels = [] then None
+    else begin
+      match Hierarchy.make levels with
+      | Error _ -> None
+      | Ok hierarchy ->
+        Some
+          (Design.make ~name ~workload:t.akit.workload ~hierarchy
+             ~business:t.akit.business ~background:t.background ())
+    end
+  end

@@ -57,3 +57,72 @@ val enumerate : kit -> space -> Design.t Seq.t
     window's worth while — it is consumed; the sequence is persistent and
     re-enumerates on re-traversal. *)
 
+(** {1 The grid as a coordinate space}
+
+    The solver layer ({!Solver}) navigates the grid by coordinates rather
+    than by enumeration: a {!point} names one combination of axis indices,
+    and neighborhood moves are small index perturbations. Decoding a point
+    runs the very same construction code as {!enumerate}, so a solver that
+    lands on grid cell [i] builds a design structurally identical to the
+    [i]-th enumerated candidate — optima are comparable across the two
+    paths, and a shared engine cache hits across both. *)
+
+type point =
+  | Tape of { pit : int; pit_acc : int; pit_ret : int; backup : int; vault : int }
+      (** Indices into [pit_techniques], [pit_accumulations],
+          [pit_retentions], [backup_accumulations], [vault_accumulations]. *)
+  | Mirror of { links : int }  (** Index into [mirror_links]. *)
+
+val tape_dims : space -> int * int * int * int * int
+(** Axis lengths of the tape family:
+    [(pit kinds, pit accs, pit retentions, backup accs, vault accs)]. *)
+
+val tape_count : space -> int
+(** Product of {!tape_dims} — the tape family's share of the grid. *)
+
+val mirror_count : space -> int
+
+val point_count : space -> int
+(** Size of the raw coordinate cross-product (tape combinations plus
+    mirror alternatives). Counts every combination, including ones whose
+    decode fails hierarchy conventions — an O(1) product, unlike counting
+    {!enumerate}. *)
+
+val point_of_index : space -> int -> point
+(** The [i]-th point in {!enumerate}'s order (tape family in row-major
+    pit-kind/pit-acc/pit-ret/backup/vault order, then mirrors). Raises
+    [Invalid_argument] outside [0, point_count)]. *)
+
+val points : space -> point Seq.t
+(** All points, lazily, in {!enumerate}'s order. *)
+
+type axes
+(** Per-axis level tables precomputed once per [(kit, space)] — the
+    decoder the solver evaluates points through. May carry background
+    demands (see {!axes}) so a portfolio member's candidates are priced
+    under its neighbors' load. *)
+
+val axes :
+  ?background:(string * Storage_device.Demand.labeled list) list ->
+  kit ->
+  space ->
+  axes
+(** [background] is attached to every decoded design (see
+    {!Storage_model.Design.make}); default none, matching {!enumerate}. *)
+
+val design_of_point : axes -> point -> Design.t option
+(** Decode one grid cell; [None] when the combination is structurally
+    invalid or lint-rejected — exactly the candidates {!enumerate} would
+    have skipped. Out-of-range indices are [None], never an exception, so
+    solver moves may probe freely. *)
+
+val tape_prefix :
+  axes -> pit:int -> pit_acc:int -> pit_ret:int -> ?backup:int -> unit ->
+  Design.t option
+(** The partial design shared by every completion of a tape-family
+    subtree: hierarchy [primary; pit] (or [primary; pit; backup] when
+    [?backup] is given) over the kit's workload. Unlike
+    {!design_of_point} the result is {e not} validity-filtered — the
+    branch-and-bound bound ({!Bound}) judges it. [None] only when the
+    prefix itself violates hierarchy conventions. *)
+

@@ -10,10 +10,15 @@ val dominates : Objective.summary -> Objective.summary -> bool
     [Entire_object] losses compare worse than any finite loss. *)
 
 val frontier : Objective.summary list -> Objective.summary list
-(** Non-dominated subset, preserving input order. Computed incrementally
-    (a fold of {!insert}); O(n x frontier size) rather than the old
-    O(n^2) scan, and provably equal — list for list — to
-    {!frontier_reference}. *)
+(** Non-dominated subset, preserving input order — except that survivors
+    with {e equal} scores on all three objectives (a tie the dominance
+    order cannot see) form one contiguous run at the first survivor's
+    position, internally ordered by a pinned deterministic tie-break
+    (design name, then structural fingerprint). Without the pin, the
+    relative order of structurally-distinct tied candidates would leak
+    the enumeration order. Computed incrementally (a fold of {!insert});
+    O(n x frontier size) rather than the old O(n^2) scan, and provably
+    equal — list for list — to {!frontier_reference}. *)
 
 val frontier_reference : Objective.summary list -> Objective.summary list
 (** The quadratic specification: filter out everything some other element
@@ -33,8 +38,9 @@ val empty : front
 
 val insert : front -> Objective.summary -> front
 (** Drops the newcomer if dominated; otherwise evicts what it dominates
-    and keeps it. [contents (List.fold_left insert empty xs)] is
-    [frontier xs]. *)
+    and splices it in (joining its equal-score class in tie-break order,
+    or founding one at the end). [contents (List.fold_left insert empty
+    xs)] is [frontier xs]. *)
 
 val contents : front -> Objective.summary list
 (** Survivors in insertion order. *)

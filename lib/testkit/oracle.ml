@@ -537,6 +537,78 @@ let fleet_jobs_invariance =
         end);
   }
 
+(* --- solver methods match exhaustive search --- *)
+
+let solver_exhaustive_equivalence =
+  (* A grid small enough to exhaust on every case (11 points: both PiT
+     kinds x 2 accumulations x 2 backup windows, plus 3 mirror bundles)
+     yet spanning both families, so family-boundary moves and both prune
+     types are exercised. The annealing budget of 4x the grid makes the
+     sweep chain provably exhaustive — equality with grid search is an
+     exact judgment, not a heuristic one. *)
+  let space =
+    {
+      Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
+      pit_accumulations = [ Duration.hours 6.; Duration.hours 12. ];
+      pit_retentions = [ 2 ];
+      backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
+      backup_retention_horizon = Duration.weeks 4.;
+      vault_accumulations = [ Duration.weeks 4. ];
+      vault_retention_horizon = Duration.years 1.;
+      mirror_links = [ 1; 2; 4 ];
+    }
+  in
+  {
+    name = "solver-exhaustive-equivalence";
+    doc =
+      "on a small grid under the case's workload and business \
+       requirements, annealing at exhaustive budget and branch-and-bound \
+       both reach the exhaustive grid optimum exactly — or all three \
+       methods agree the grid holds no feasible design";
+    check =
+      (fun ctx d scenarios ->
+        let kit =
+          {
+            Seeded.kit with
+            Candidate.workload = d.Design.workload;
+            business = d.Design.business;
+          }
+        in
+        let scenarios = List.map snd scenarios in
+        let budget = 4 * Candidate.point_count space in
+        let run method_ =
+          Solver.run ~engine:ctx.engine ~budget ~seed:0x5EED5EEDL ~method_ kit
+            space scenarios
+        in
+        let grid = run Solver.Grid in
+        let anneal = run Solver.Anneal in
+        let bnb = run Solver.Bnb in
+        let cost (r : Solver.result) =
+          Option.map
+            (fun (s : Objective.summary) -> s.Objective.worst_total_cost)
+            r.Solver.best
+        in
+        let agree name r =
+          match (cost grid, cost r) with
+          | None, None -> Pass
+          | Some g, Some s when Money.compare g s = 0 -> Pass
+          | Some g, Some s ->
+            failf "%s best %s differs from exhaustive optimum %s" name
+              (Money.to_string s) (Money.to_string g)
+          | Some g, None ->
+            failf "%s found nothing feasible; exhaustive optimum is %s" name
+              (Money.to_string g)
+          | None, Some s ->
+            failf
+              "%s claims a feasible design at %s on a grid exhaustive \
+               search proves infeasible"
+              name (Money.to_string s)
+        in
+        match agree "anneal" anneal with
+        | Pass -> agree "bnb" bnb
+        | v -> v);
+  }
+
 (* --- harness self-test --- *)
 
 let self_test_fail =
@@ -561,6 +633,7 @@ let defaults =
     analytic_vs_sim;
     fleet_degenerate;
     fleet_jobs_invariance;
+    solver_exhaustive_equivalence;
   ]
 
 let all = defaults @ [ self_test_fail ]

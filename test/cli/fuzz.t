@@ -16,6 +16,7 @@ The oracle registry:
   analytic-vs-sim          simulated data loss within the analytic worst case (+1 s) and simulated recovery time within the documented tolerance band of the analytic estimate, for now-targets on valid designs
   fleet-degenerate         a fleet trial whose sampled trace has exactly one failure event reproduces the phase-aligned single-scenario simulator verbatim (outage, loss accounting, rebuild list)
   fleet-jobs-invariance    Fleet.run's JSON report is byte-identical between the session engine and the multi-domain engine (trial order, not dispatch schedule, determines the aggregate)
+  solver-exhaustive-equivalence on a small grid under the case's workload and business requirements, annealing at exhaustive budget and branch-and-bound both reach the exhaustive grid optimum exactly — or all three methods agree the grid holds no feasible design
   self-test-fail           fails on every case by construction — exercises the counterexample pipeline (shrinking, corpus, replay); excluded from the defaults
 
 A clean run exits 0 and leaves the corpus directory empty:
@@ -74,7 +75,7 @@ what lets a demonstration counterexample live in the checked-in corpus
 without breaking CI:
 
   $ ssdep fuzz --seed 7 --budget 0 --corpus corpus1
-  fuzz: seed 0x7, budget 0, 11 oracles
+  fuzz: seed 0x7, budget 0, 12 oracles
   findings: 0
 
 Usage errors exit 2:

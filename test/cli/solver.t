@@ -1,0 +1,102 @@
+Metaheuristic solvers over the candidate grid. Annealing is a pure
+function of (seed, budget): the report below is byte-stable, and the
+same run under --jobs 4 is byte-identical to serial:
+
+  $ ssdep optimize --solver anneal --budget 400 --seed 11 | sed 's/ *$//'
+  solver anneal: 76 grid points, budget 400, 400 evaluated, 131 moves accepted
+  best: asyncB mirror x2                 out $1.57M    worst RT 10.5 hr   worst DL 2.0 min    total $2.09M
+
+  $ ssdep optimize --solver anneal --budget 400 --seed 11 > serial.out
+  $ ssdep optimize --solver anneal --budget 400 --seed 11 --jobs 4 > parallel.out
+  $ ssdep optimize --solver anneal --budget 400 --seed 11 --jobs 2 --chunk 3 > chunked.out
+  $ cmp serial.out parallel.out && cmp serial.out chunked.out
+
+Branch-and-bound prunes with the lint feasibility frontier and a
+monotone cost bound, and still lands on the exhaustive optimum (compare
+the totals with topk.t's grid search):
+
+  $ ssdep optimize --solver bnb --grid-scale 2 | sed 's/ *$//'
+  solver bnb: 2887 grid points, 1924 evaluated, 363 pruned (3 by cost, 360 infeasible), 546 bound probes
+  best: asyncB mirror x2                 out $1.57M    worst RT 10.5 hr   worst DL 2.0 min    total $2.09M
+
+--json emits the machine-readable report (seed echoed in hex, the best
+design inlined):
+
+  $ ssdep optimize --solver anneal --budget 100 --seed 3 --json
+  {
+    "solver": "anneal",
+    "grid_points": 76,
+    "budget": 100,
+    "seed": "0x3",
+    "evaluations": 100,
+    "considered": 100,
+    "moves_accepted": 49,
+    "pruned_cost": 0,
+    "pruned_infeasible": 0,
+    "bound_probes": 0,
+    "feasible": true,
+    "best": {
+      "design": "asyncB mirror x2",
+      "outlays_usd": 1566627.09517,
+      "worst_recovery_hours": 10.4680206497,
+      "worst_loss": "2.0 min",
+      "total_usd": 2091694.79432,
+      "feasible": true
+    }
+  }
+
+A portfolio solves every member jointly: members price each other's load
+on the shared hardware, and the assignment rolls up into one site-level
+summary whose outlays count shared fixed costs once:
+
+  $ ssdep optimize --portfolio ../../examples/designs/baseline.ssdep --portfolio ../../examples/designs/mail.ssdep | sed 's/ *$//'
+  portfolio of 2 objects (solver grid):
+    cello            asyncB mirror x2                 out $1.57M    worst RT 10.5 hr   worst DL 2.0 min    total $2.09M
+    mail             asyncB mirror x1                 out $1.00M    worst RT 9.0 hr    worst DL 2.0 min    total $1.09M
+  site: outlays $2.02M, penalties $0.62M, total $2.64M, worst RT 10.5 hr, worst DL 2.0 min, feasible
+
+An unreachable objective is reported honestly, not papered over —
+orders-db asks for a 4-hour RTO this hardware kit cannot meet, and the
+site summary goes infeasible:
+
+  $ ssdep optimize --portfolio ../../examples/designs/orders-db.ssdep --portfolio ../../examples/designs/mail.ssdep | sed 's/ *$//' | tail -2
+    mail             asyncB mirror x1                 out $1.00M    worst RT 9.0 hr    worst DL 2.0 min    total $1.09M
+  site: outlays $1.00M, penalties $90.3k, total $1.09M, worst RT 9.0 hr, worst DL 2.0 min, infeasible
+
+Bad --budget and --seed values are command-line errors:
+
+  $ ssdep optimize --solver anneal --budget 0
+  ssdep: option '--budget': invalid count "0", expected a positive integer
+  Usage: ssdep optimize [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+  $ ssdep optimize --solver anneal --budget=-5
+  ssdep: option '--budget': invalid count "-5", expected a positive integer
+  Usage: ssdep optimize [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+  $ ssdep optimize --solver anneal --seed zz
+  ssdep: option '--seed': invalid seed "zz", expected an integer
+  Usage: ssdep optimize [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+  $ ssdep optimize --solver simplex
+  ssdep: option '--solver': unknown solver "simplex", expected grid, anneal or
+         bnb
+  Usage: ssdep optimize [OPTION]…
+  Try 'ssdep optimize --help' or 'ssdep --help' for more information.
+  [124]
+
+--top-k and --max-candidates belong to the exhaustive grid listing, and
+portfolio members bring their own objectives:
+
+  $ ssdep optimize --solver anneal --top-k 3
+  ssdep: --top-k and --max-candidates apply to the default grid search only (no --solver, --portfolio or --json)
+  [124]
+
+  $ ssdep optimize --portfolio ../../examples/designs/baseline.ssdep --rto 4
+  ssdep: --rto/--rpo conflict with --portfolio: each member's objectives come from its design file
+  [124]

@@ -26,6 +26,19 @@ A widened grid behaves the same way, just bigger:
      1. asyncB mirror x2                 out $1.57M    worst RT 10.5 hr   worst DL 2.0 min    total $2.09M
      2. asyncB mirror x1                 out $1.13M    worst RT 20.9 hr   worst DL 2.0 min    total $2.18M
 
+--solver grid is the same exhaustive search expressed as a solver
+method: its output is byte-identical to the default path, and its JSON
+report lands on the same optimum the top-1 listing shows:
+
+  $ ssdep optimize --top-k 1 > default.out
+  $ ssdep optimize --solver grid --top-k 1 > grid.out
+  $ cmp default.out grid.out
+
+  $ ssdep optimize --solver grid --json | grep -E '"(solver|evaluations|total_usd)"'
+    "solver": "grid",
+    "evaluations": 76,
+      "total_usd": 2091694.79432,
+
 --top-k must be positive:
 
   $ ssdep optimize --top-k 0

@@ -280,6 +280,27 @@ let prop_incremental_frontier_matches_reference =
       && List.length online = List.length reference
       && List.for_all2 ( == ) online reference)
 
+(* Two structurally distinct designs with byte-equal scores: the frontier
+   must order them the same way whichever arrived first (the tie-break
+   regression the incremental frontier used to leak input order on). *)
+let test_pareto_tie_break_order_independent () =
+  let score s (d : Design.t) = { s with Objective.design = d } in
+  let a = score (synthetic_summary (3, 2, 1)) Baseline.design in
+  let b =
+    score (synthetic_summary (3, 2, 1)) (List.assoc "weekly vault" Whatif.all)
+  in
+  let names l =
+    List.map (fun s -> s.Objective.design.Design.name) (Pareto.frontier l)
+  in
+  Alcotest.(check (list string))
+    "both orders agree" (names [ a; b ]) (names [ b; a ]);
+  Alcotest.(check int) "both survive" 2 (List.length (names [ a; b ]));
+  (* And with an interleaved non-tied survivor the classes stay pinned. *)
+  let c = score (synthetic_summary (2, 3, 2)) Baseline.design in
+  Alcotest.(check (list string))
+    "tied class pinned around other survivors" (names [ a; c; b ])
+    (names [ b; c; a ])
+
 let prop_frontier_subset =
   QCheck.Test.make ~name:"frontier is a subset of the input" ~count:10
     QCheck.(int_range 1 4)
@@ -292,6 +313,210 @@ let prop_frontier_subset =
       List.for_all (fun s -> List.memq s summaries) frontier
       && List.length frontier <= List.length summaries
       && frontier <> [])
+
+(* --- Solver --- *)
+
+let bytes_of x = Marshal.to_string x [ Marshal.No_sharing ]
+
+(* A space whose pit-accumulation axis is long enough (>= 8, the
+   bisection threshold) that branch-and-bound locates the lint
+   feasibility frontier by geometric bisection rather than element-wise
+   probing. *)
+let bisection_space =
+  {
+    Candidate.pit_techniques = [ `Split_mirror; `Snapshot ];
+    pit_accumulations =
+      List.map Duration.hours [ 1.; 2.; 3.; 4.; 6.; 8.; 12.; 24. ];
+    pit_retentions = [ 2; 4 ];
+    backup_accumulations = [ Duration.hours 24.; Duration.weeks 1. ];
+    backup_retention_horizon = Duration.weeks 4.;
+    vault_accumulations = [ Duration.weeks 1. ];
+    vault_retention_horizon = Duration.years 3.;
+    mirror_links = [ 1; 10 ];
+  }
+
+let best_cost (r : Solver.result) =
+  Option.map
+    (fun (s : Objective.summary) ->
+      Money.to_usd s.Objective.worst_total_cost)
+    r.Solver.best
+
+let test_points_decode_as_enumerate () =
+  let k = kit (business ()) in
+  List.iter
+    (fun space ->
+      let enumerated = List.of_seq (Candidate.enumerate k space) in
+      let decoded =
+        List.of_seq
+          (Seq.filter_map
+             (Candidate.design_of_point (Candidate.axes k space))
+             (Candidate.points space))
+      in
+      Alcotest.(check int)
+        "same candidate count" (List.length enumerated) (List.length decoded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string)
+            "same order" a.Design.name b.Design.name;
+          Alcotest.(check bool)
+            ("decoded " ^ b.Design.name ^ " byte-identical")
+            true
+            (String.equal
+               (bytes_of (Design.strip a))
+               (bytes_of (Design.strip b))))
+        enumerated decoded)
+    [ small_space; bisection_space ]
+
+(* Annealing determinism: the report is a pure function of (seed, budget)
+   — byte-identical across --jobs and --chunk. *)
+let test_anneal_jobs_invariance () =
+  let k = kit (business ()) in
+  let run jobs chunk =
+    let engine = Storage_engine.create ~jobs ~chunk () in
+    Fun.protect
+      ~finally:(fun () -> Storage_engine.shutdown engine)
+      (fun () ->
+        let r =
+          Solver.run ~engine ~budget:300 ~seed:0xD5EEDL ~method_:Solver.Anneal
+            k small_space scenarios
+        in
+        bytes_of
+          ( Option.map (fun s -> Design.strip s.Objective.design) r.Solver.best,
+            best_cost r,
+            r.Solver.stats ))
+  in
+  let serial = run 1 1 in
+  Alcotest.(check bool) "jobs 4 = serial" true (String.equal serial (run 4 16));
+  Alcotest.(check bool) "jobs 2, chunk 3 = serial" true
+    (String.equal serial (run 2 3))
+
+let test_anneal_monotone_budget () =
+  let k = kit (business ()) in
+  let cost budget =
+    let r =
+      Solver.run ~budget ~seed:0xD5EEDL ~method_:Solver.Anneal k small_space
+        scenarios
+    in
+    Option.value ~default:Float.infinity (best_cost r)
+  in
+  let costs = List.map cost [ 4; 24; 60; 150 ] in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "larger budget never worse" true (non_increasing costs)
+
+let test_anneal_full_budget_exhaustive () =
+  let k = kit (business ()) in
+  List.iter
+    (fun space ->
+      let budget = 4 * Candidate.point_count space in
+      let grid = Solver.run ~method_:Solver.Grid k space scenarios in
+      let anneal =
+        Solver.run ~budget ~seed:0xACE5L ~method_:Solver.Anneal k space
+          scenarios
+      in
+      Alcotest.(check (option (float 0.)))
+        "anneal at exhaustive budget = grid optimum" (best_cost grid)
+        (best_cost anneal))
+    [ small_space; bisection_space ]
+
+(* B&B soundness: replay every pruned region exhaustively — a pruned
+   point must be undecodable, infeasible, or no cheaper than the returned
+   optimum — and the optimum itself must equal exhaustive search's. The
+   bisection space drives the frontier-bisection path; the accounting
+   must also close (every grid cell either visited or pruned). *)
+let test_bnb_soundness () =
+  let k = kit (business ()) in
+  List.iter
+    (fun space ->
+      let axes = Candidate.axes k space in
+      let grid = Solver.run ~method_:Solver.Grid k space scenarios in
+      let bnb =
+        Solver.run ~record_pruned:true ~method_:Solver.Bnb k space scenarios
+      in
+      Alcotest.(check (option (float 0.)))
+        "bnb = grid optimum" (best_cost grid) (best_cost bnb);
+      let pruned = List.concat bnb.Solver.pruned in
+      Alcotest.(check int)
+        "pruned counters match recorded regions"
+        (bnb.Solver.stats.Solver.pruned_cost
+        + bnb.Solver.stats.Solver.pruned_infeasible)
+        (List.length pruned);
+      Alcotest.(check int)
+        "every cell visited or pruned"
+        (Candidate.point_count space)
+        (bnb.Solver.stats.Solver.considered + List.length pruned);
+      let best = Option.value ~default:Float.infinity (best_cost bnb) in
+      List.iter
+        (fun p ->
+          match Candidate.design_of_point axes p with
+          | None -> ()
+          | Some d ->
+            let s = Objective.summarize d scenarios in
+            if
+              s.Objective.feasible
+              && Money.to_usd s.Objective.worst_total_cost < best
+            then
+              Alcotest.failf "pruned %s beats the returned optimum"
+                d.Design.name)
+        pruned)
+    [ small_space; bisection_space ]
+
+let test_solver_invalid_args () =
+  let k = kit (business ()) in
+  check_raises_invalid "budget < 1" (fun () ->
+      Solver.run ~budget:0 ~method_:Solver.Anneal k small_space scenarios);
+  check_raises_invalid "no scenarios" (fun () ->
+      Solver.run ~method_:Solver.Grid k small_space [])
+
+let test_solve_portfolio_rolls_up () =
+  let b = business () in
+  let members =
+    [
+      { Solver.label = "cello"; workload = Cello.workload; business = b };
+      {
+        Solver.label = "cello-2x";
+        workload = Storage_workload.Workload.grow Cello.workload ~factor:2.;
+        business = b;
+      };
+    ]
+  in
+  let run jobs =
+    let engine = Storage_engine.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Storage_engine.shutdown engine)
+      (fun () ->
+        Solver.solve_portfolio ~engine ~method_:Solver.Grid
+          ~kit:(kit b) ~space:small_space ~members scenarios)
+  in
+  let pr = run 1 in
+  Alcotest.(check int) "one result per member" 2
+    (List.length pr.Solver.assignments);
+  Alcotest.(check int) "every member assigned" 2 (List.length pr.Solver.chosen);
+  Alcotest.(check bool) "site total = outlays + penalties" true
+    (Money.compare pr.Solver.site.Solver.total
+       (Money.add pr.Solver.site.Solver.outlays
+          pr.Solver.site.Solver.penalties)
+    = 0);
+  (* Consolidation prices members under each other's load: each chosen
+     design carries background demands from its neighbor. *)
+  List.iter
+    (fun (d : Design.t) ->
+      Alcotest.(check bool)
+        (d.Design.name ^ " sees neighbor load")
+        true
+        (d.Design.background <> []))
+    pr.Solver.chosen;
+  (* And the whole consolidation is jobs-invariant. *)
+  let again = run 3 in
+  Alcotest.(check bool) "portfolio jobs-invariant" true
+    (String.equal
+       (bytes_of
+          (List.map (fun d -> Design.strip d) pr.Solver.chosen, pr.Solver.site))
+       (bytes_of
+          (List.map (fun d -> Design.strip d) again.Solver.chosen,
+           again.Solver.site)))
 
 let suite =
   [
@@ -307,6 +532,8 @@ let suite =
         Alcotest.test_case "frontier non-domination" `Quick
           test_pareto_non_domination_property;
         Alcotest.test_case "domination asymmetric" `Quick test_dominates_asymmetric;
+        Alcotest.test_case "tie-break order independent" `Quick
+          test_pareto_tie_break_order_independent;
         qcheck prop_frontier_subset;
         qcheck prop_incremental_frontier_matches_reference;
       ] );
@@ -327,5 +554,21 @@ let suite =
         Alcotest.test_case "top-k truncation" `Quick test_search_top_k_truncates;
         Alcotest.test_case "feasible sorted by cost" `Quick
           test_search_feasible_sorted;
+      ] );
+    ( "optimize.solver",
+      [
+        Alcotest.test_case "points decode as enumerate" `Quick
+          test_points_decode_as_enumerate;
+        Alcotest.test_case "anneal jobs-invariant" `Quick
+          test_anneal_jobs_invariance;
+        Alcotest.test_case "anneal monotone budget" `Quick
+          test_anneal_monotone_budget;
+        Alcotest.test_case "anneal full budget = exhaustive" `Quick
+          test_anneal_full_budget_exhaustive;
+        Alcotest.test_case "bnb soundness (pruned replay)" `Quick
+          test_bnb_soundness;
+        Alcotest.test_case "invalid arguments" `Quick test_solver_invalid_args;
+        Alcotest.test_case "portfolio roll-up" `Quick
+          test_solve_portfolio_rolls_up;
       ] );
   ]
